@@ -1,0 +1,56 @@
+"""Figure 3: reliability impact at 400 Gbit/s (three sweeps)."""
+
+from repro.common.units import GiB, KiB, MiB
+from repro.experiments import fig03
+
+from conftest import run_once, show
+
+
+def test_fig03a_message_size_sweep(benchmark):
+    table = run_once(benchmark, fig03.run_size_sweep)
+    show(table)
+    sizes = table.column("size_B")
+    sr = dict(zip(sizes, table.column("sr_slowdown")))
+    ec = dict(zip(sizes, table.column("ec_slowdown")))
+
+    # SR peak slowdown in the "critical" region (128 MiB .. 1 GiB).
+    assert sr[1 * GiB] > 2.0
+    # EC stays near ideal there.
+    assert ec[128 * MiB] < 1.1
+    assert ec[1 * GiB] < 1.3
+    # Above ~32 GiB injection dominates: SR recovers, EC pays ~25% parity.
+    assert sr[256 * GiB] < 1.05
+    assert 1.2 < ec[256 * GiB] < 1.3
+    # Crossover: EC wins at 1 GiB, SR wins at 256 GiB.
+    assert ec[1 * GiB] < sr[1 * GiB]
+    assert sr[256 * GiB] < ec[256 * GiB]
+    # Tiny messages: both near ideal.
+    assert sr[4 * KiB] < 1.05 and ec[4 * KiB] < 1.05
+
+
+def test_fig03b_distance_sweep(benchmark):
+    table = run_once(benchmark, fig03.run_distance_sweep)
+    show(table)
+    dist = table.column("distance_km")
+    sr = dict(zip(dist, table.column("sr_slowdown")))
+    ec = dict(zip(dist, table.column("ec_slowdown")))
+    # Short link: 8 GiB is "large", SR wins; planetary: EC wins.
+    assert sr[10.0] < ec[10.0]
+    assert ec[37500.0] < sr[37500.0]
+    # SR degrades monotonically with distance.
+    sr_series = table.column("sr_slowdown")
+    assert sr_series == sorted(sr_series)
+
+
+def test_fig03c_drop_sweep(benchmark):
+    table = run_once(benchmark, fig03.run_drop_sweep)
+    show(table)
+    drops = table.column("p_packet")
+    sr = dict(zip(drops, table.column("sr_slowdown")))
+    ec = dict(zip(drops, table.column("ec_slowdown")))
+    # Paper: completion rises 3x..10x beyond 1e-4 for SR.
+    assert sr[1e-4] > 3.0
+    assert sr[1e-2] > 8.0
+    # EC(32,8) absorbs drops until ~1e-2 where it collapses to SR levels.
+    assert ec[1e-3] < 1.1
+    assert ec[1e-2] > 5.0

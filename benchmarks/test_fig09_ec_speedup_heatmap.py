@@ -1,0 +1,47 @@
+"""Figure 9: EC(32,8) speedup-over-SR heatmap."""
+
+from repro.common.units import GiB, KiB, MiB
+from repro.experiments import fig09
+
+from conftest import run_once, show
+
+
+def test_fig09_heatmap(benchmark):
+    table = run_once(benchmark, fig09.run)
+    show(table)
+    rows = {row[0]: dict(zip(table.columns[1:], row[1:])) for row in table.rows}
+
+    # Red region: 128 KiB .. 1 GiB x 1e-6 .. 1e-2 -- EC ahead.
+    for size in (128 * KiB, 1 * MiB, 128 * MiB, 1 * GiB):
+        assert rows[size]["p=0.001"] >= 1.0, size
+    # Strong wins in the middle of the region (paper: up to ~5x mean).
+    assert rows[128 * MiB]["p=0.0001"] > 2.5
+    assert rows[128 * MiB]["p=0.001"] > 3.0
+
+    # SR-favourable corners: large message + low drop...
+    assert rows[8 * GiB]["p=1e-08"] < 1.0
+    # ...and very high drop rates where EC cannot recover.
+    assert rows[128 * MiB]["p=0.1"] < 1.0
+
+    # Small messages: no meaningful difference (within 10%).
+    assert abs(rows[16 * KiB]["p=1e-05"] - 1.0) < 0.1
+
+
+def test_fig09_xor_variant(benchmark):
+    """Ablation beyond the paper: the heatmap with the XOR code.
+
+    XOR's one-loss-per-group tolerance shrinks the red region from the
+    high-drop side: where MDS(32,8) still wins at 1e-3..1e-2, XOR already
+    falls back to SR and loses its edge.
+    """
+    table = run_once(benchmark, lambda: fig09.run(codec="xor"))
+    show(table)
+    mds = fig09.run(codec="mds")
+    col = "p=0.001"
+    for size in (64 * MiB, 128 * MiB, 512 * MiB):
+        xor_speedup = dict(zip(table.column("size_B"), table.column(col)))[size]
+        mds_speedup = dict(zip(mds.column("size_B"), mds.column(col)))[size]
+        assert xor_speedup < mds_speedup
+    # At low drop rates the codes behave identically (no decoding needed).
+    low = "p=1e-06"
+    assert table.column(low) == mds.column(low)

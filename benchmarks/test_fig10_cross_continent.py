@@ -1,0 +1,67 @@
+"""Figure 10: cross-continent case study (means, tails, NACK, MDS splits)."""
+
+from repro.experiments import fig10
+
+from conftest import run_once, show
+
+
+def test_fig10a_size_sweep(benchmark):
+    table = run_once(benchmark, lambda: fig10.run_size_sweep(n_samples=4000))
+    show(table)
+    cols = table.columns
+    by_size = {row[0]: row for row in table.rows}
+
+    def col(row, name):
+        return row[cols.index(name)]
+
+    # The critical region (paper: up to 6.5x mean / 12.2x p999 slowdown for
+    # SR; our sweep peaks in the hundreds-of-MiB band).
+    peak_mean = max(col(r, "sr_rto_mean") for r in table.rows)
+    peak_tail = max(col(r, "sr_rto_p999") for r in table.rows)
+    assert peak_mean > 2.0
+    assert peak_tail > 3.5
+    # EC stays within ~25% of ideal everywhere at P=1e-5.
+    assert all(col(r, "ec_mean") < 1.3 for r in table.rows)
+    # NACK improves on RTO at every size.
+    assert all(
+        col(r, "sr_nack_mean") <= col(r, "sr_rto_mean") + 1e-9
+        for r in table.rows
+    )
+
+
+def test_fig10bc_drop_sweep(benchmark):
+    table = run_once(benchmark, lambda: fig10.run_drop_sweep(n_samples=4000))
+    show(table)
+    cols = table.columns
+    rows = {row[0]: row for row in table.rows}
+
+    def col(p, name):
+        return rows[p][cols.index(name)]
+
+    # Paper: 3x..10x+ mean slowdown from 1e-4 upward; tails worse.
+    assert col(1e-4, "sr_rto_mean") > 3.0
+    assert col(1e-2, "sr_rto_mean") > 8.0
+    assert col(1e-3, "sr_rto_p999") > col(1e-3, "sr_rto_mean")
+    # NACK: up to ~4x better than RTO at the tail (paper Section 5.2.1).
+    assert col(1e-3, "sr_rto_p999") / col(1e-3, "sr_nack_p999") > 1.8
+    # EC flat until ~1e-2 where MDS(32,8) finally collapses.
+    assert col(1e-3, "ec_mean") < 1.1
+    assert col(1e-2, "ec_mean") > 5.0
+
+
+def test_fig10d_mds_splits(benchmark):
+    table = run_once(benchmark, lambda: fig10.run_split_sweep(n_samples=2000))
+    show(table)
+    cols = table.columns
+    rows = {row[0]: row for row in table.rows}
+
+    # Low-drop regime: cost ordered by parity overhead (more parity =
+    # slower when nothing needs recovering).
+    low = rows[1e-6]
+    assert low[cols.index("k=32,m=2")] < low[cols.index("k=32,m=8")]
+    assert low[cols.index("k=32,m=8")] < low[cols.index("k=8,m=8")]
+    # High-drop regime: protection wins; (8,8) survives 1e-2, (32,2) dies.
+    high = rows[1e-2]
+    assert high[cols.index("k=8,m=8")] < high[cols.index("k=32,m=2")] / 3
+    # (32,8): the paper's balanced pick -- tolerates 1e-3 easily.
+    assert rows[1e-3][cols.index("k=32,m=8")] < 1.1

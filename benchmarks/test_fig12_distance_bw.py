@@ -1,0 +1,38 @@
+"""Figure 12: inter-DC distance x bandwidth impact on a 128 MiB Write."""
+
+from repro.common.units import Gbit, Tbit
+from repro.experiments import fig12
+
+from conftest import run_once, show
+
+
+def test_fig12_distance_bandwidth_sweep(benchmark):
+    table = run_once(benchmark, fig12.run)
+    show(table)
+    dist = table.column("distance_km")
+    # SR slowdown grows with distance at every bandwidth (more exposed
+    # retransmissions as BDP grows); EC shrinks toward ideal.
+    for bw in ("100", "400", "1600"):
+        sr = table.column(f"sr@{bw}G")
+        ec = table.column(f"ec@{bw}G")
+        assert sr == sorted(sr)
+        assert ec == sorted(ec, reverse=True)
+        # At the planetary end EC wins decisively.
+        assert ec[-1] < sr[-1]
+    # At short distance EC pays its parity tax and loses.
+    assert table.column("ec@400G")[0] > table.column("sr@400G")[0]
+
+
+def test_fig12_crossover_shrinks_with_bandwidth(benchmark):
+    def compute():
+        return {
+            bw: fig12.crossover_distance(bandwidth_bps=bw)
+            for bw in (100 * Gbit, 400 * Gbit, 800 * Gbit, 1.6 * Tbit)
+        }
+
+    crossovers = run_once(benchmark, compute)
+    values = list(crossovers.values())
+    assert all(v is not None for v in values)
+    # Fatter pipes move the EC-wins crossover closer.
+    assert values == sorted(values, reverse=True) or len(set(values)) < 4
+    assert crossovers[1.6 * Tbit] <= crossovers[100 * Gbit]

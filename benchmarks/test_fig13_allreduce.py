@@ -1,0 +1,35 @@
+"""Figure 13: inter-DC ring Allreduce p99.9 speedup, EC over SR."""
+
+from repro.experiments import fig13
+
+from conftest import run_once, show
+
+
+def test_fig13_left_ring_size_sweep(benchmark):
+    table = run_once(
+        benchmark, lambda: fig13.run_ring_sweep(n_samples=2000, seed=0)
+    )
+    show(table)
+    drops = table.column("p_packet")
+    # EC helps at every ring size and drop rate in the band...
+    for n in (2, 4, 8, 16):
+        series = table.column(f"N={n}")
+        assert all(s > 1.0 for s in series)
+        # ...and the speedup grows with drop rate (paper: 3x -> >6x).
+        assert series[-1] > series[0]
+    by_drop = {d: row[1:] for d, row in zip(drops, table.rows)}
+    assert max(by_drop[1e-3]) > 3.0
+
+
+def test_fig13_right_buffer_sweep(benchmark):
+    table = run_once(
+        benchmark, lambda: fig13.run_buffer_sweep(n_samples=2000, seed=1)
+    )
+    show(table)
+    for col in table.columns[1:]:
+        series = table.column(col)
+        assert all(s > 1.0 for s in series)
+        assert series[-1] > series[0]
+    # At 1e-3, 4 DCs: speedup well beyond 3x for every buffer size.
+    last_row = table.rows[-1]
+    assert all(v > 3.0 for v in last_row[1:])

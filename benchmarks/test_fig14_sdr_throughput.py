@@ -1,0 +1,47 @@
+"""Figure 14: SDR end-to-end throughput and DPA thread scaling (DES)."""
+
+from repro.common.units import KiB, MiB
+from repro.experiments import fig14
+
+from conftest import run_once, show
+
+
+def test_fig14_left_message_size_sweep(benchmark):
+    table = run_once(
+        benchmark,
+        lambda: fig14.run_message_size_sweep(n_messages=20),
+    )
+    show(table)
+    sizes = table.column("size_B")
+    sdr = dict(zip(sizes, table.column("sdr_gbps")))
+    rc = dict(zip(sizes, table.column("rc_gbps")))
+    frac = dict(zip(sizes, table.column("sdr_frac_of_line")))
+
+    # Below 512 KiB: SDR trails RC (receive repost overhead).
+    for size in (64 * KiB, 128 * KiB, 256 * KiB):
+        assert sdr[size] < rc[size]
+    # At/above 512 KiB: SDR saturates the line (>= 90%).
+    for size in (512 * KiB, 1 * MiB, 4 * MiB, 16 * MiB):
+        assert frac[size] >= 0.9, size
+    # Throughput grows monotonically with message size.
+    series = table.column("sdr_gbps")
+    assert series == sorted(series)
+
+
+def test_fig14_right_thread_scaling(benchmark):
+    table = run_once(
+        benchmark,
+        lambda: fig14.run_thread_scaling(
+            threads=[1, 2, 4, 8, 16], message_bytes=8 * MiB, n_messages=10
+        ),
+    )
+    show(table)
+    threads = table.column("rx_threads")
+    gbps = table.column("sdr_gbps")
+    # Near-linear scaling until the wire saturates.
+    assert gbps == sorted(gbps)
+    for lo, hi in zip(gbps, gbps[1:]):
+        if hi < 0.9 * 400:  # below saturation doubling threads ~doubles rate
+            assert hi > 1.6 * lo
+    # 16 threads saturate 400 Gbit/s (the paper's headline calibration).
+    assert gbps[-1] >= 0.95 * 400

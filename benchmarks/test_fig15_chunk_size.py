@@ -1,0 +1,28 @@
+"""Figure 15: bitmap chunk size vs throughput and chunk drop probability."""
+
+import math
+
+from repro.experiments import fig15
+
+from conftest import run_once, show
+
+
+def test_fig15_chunk_size_sweep(benchmark):
+    table = run_once(benchmark, lambda: fig15.run(n_messages=12))
+    show(table)
+    frac = table.column("frac_of_line")
+    ppc = table.column("pkts_per_chunk")
+    p_chunk = table.column("p_chunk_drop")
+    updates = table.column("chunk_updates")
+
+    # Paper headline: 16 DPA threads hold the line rate across the whole
+    # 1-packet .. 64-packet chunk range (per-packet CQE load is constant).
+    assert all(f >= 0.9 for f in frac)
+    # Larger chunks -> fewer host (PCIe) bitmap updates, linearly.
+    assert updates == sorted(updates, reverse=True)
+    assert updates[0] == updates[-1] * (ppc[-1] // ppc[0])
+    # Theoretical chunk drop probability scales ~N * P for small P.
+    for n, pc in zip(ppc, p_chunk):
+        # (table values are rounded to 8 decimals)
+        assert math.isclose(pc, 1 - (1 - 1e-5) ** n, rel_tol=1e-2)
+    assert p_chunk == sorted(p_chunk)

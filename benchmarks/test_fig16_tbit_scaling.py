@@ -1,0 +1,24 @@
+"""Figure 16: packet-rate scaling towards Tbit/s links (64 B writes)."""
+
+from repro.experiments import fig16
+
+from conftest import run_once, show
+
+
+def test_fig16_packet_rate_scaling(benchmark):
+    table = run_once(benchmark, lambda: fig16.run(n_messages=10))
+    show(table)
+    threads = table.column("threads")
+    mpps = table.column("pkt_rate_mpps")
+    equiv = table.column("equiv_tbps_at_4KiB")
+
+    # Near-linear scaling from 4 to 128 threads (paper: "nearly linearly
+    # across 4 to 32 threads", continuing to 128).
+    assert mpps == sorted(mpps)
+    for lo, hi in zip(mpps, mpps[1:]):
+        assert hi > 1.6 * lo  # doubling threads buys >= 1.6x
+    # Calibration anchor: ~15 Mpps at 16 threads (paper Section 5.4.2).
+    rate_16 = dict(zip(threads, mpps))[16]
+    assert 11.0 <= rate_16 <= 17.0
+    # Headline: 128 threads reach ~3.2 Tbit/s-equivalent at 4 KiB MTU.
+    assert equiv[-1] > 2.8

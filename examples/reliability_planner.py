@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Reliability planner: pick the best scheme for *your* deployment.
+
+The paper releases its completion-time framework so "system architects
+[can] design and tune the reliability layer to specific RDMA deployments"
+(Section 4.2).  This example is that tool: describe your link (bandwidth,
+distance, measured drop rate) and message size, and it ranks SR RTO,
+SR NACK and a menu of EC configurations by mean and p99.9 completion time.
+
+Run:  python examples/reliability_planner.py [--distance-km 3750]
+      [--bandwidth-gbps 400] [--drop 1e-5] [--size-mib 128]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.common.units import KiB, MiB
+from repro.experiments.report import Table
+from repro.models import (
+    ModelParams,
+    ec_sample_completion,
+    sr_sample_completion,
+    summarize,
+)
+from repro.models.decode_prob import p_decode_mds, p_decode_xor, p_fallback
+from repro.models.params import packet_to_chunk_drop
+
+
+def plan(
+    *,
+    bandwidth_gbps: float,
+    distance_km: float,
+    p_packet: float,
+    size_mib: float,
+    chunk_kib: int = 64,
+    mtu_kib: int = 4,
+    n_samples: int = 4000,
+    seed: int = 0,
+) -> Table:
+    """Rank reliability schemes for one deployment; returns the table."""
+    size = int(size_mib * MiB)
+    chunk_bytes = chunk_kib * KiB
+    ppc = chunk_kib // mtu_kib
+    rng = np.random.default_rng(seed)
+    p_chunk = packet_to_chunk_drop(p_packet, ppc)
+
+    def params(rto_rtts: float = 3.0) -> ModelParams:
+        return ModelParams(
+            bandwidth_bps=bandwidth_gbps * 1e9,
+            rtt=ModelParams().at_distance(distance_km).rtt,
+            chunk_bytes=chunk_bytes,
+            drop_probability=p_chunk,
+            rto_rtts=rto_rtts,
+        )
+
+    base = params()
+    chunks = base.chunks_in(size)
+    ideal = base.ideal_completion(size)
+    nsub = -(-chunks // 32)
+
+    candidates: list[tuple[str, np.ndarray, str]] = []
+    candidates.append(
+        ("SR RTO (3 RTT)", sr_sample_completion(base, chunks, n_samples, rng=rng), "")
+    )
+    candidates.append(
+        (
+            "SR NACK (~1 RTT)",
+            sr_sample_completion(params(1.0), chunks, n_samples, rng=rng),
+            "",
+        )
+    )
+    for codec, k, m in (
+        ("mds", 32, 8), ("mds", 32, 4), ("mds", 16, 8), ("xor", 32, 8),
+    ):
+        p_dec = (
+            p_decode_mds(p_chunk, k, m)
+            if codec == "mds"
+            else p_decode_xor(p_chunk, k, m)
+        )
+        fb = p_fallback(p_dec, max(1, nsub))
+        candidates.append(
+            (
+                f"EC {codec.upper()}({k},{m})",
+                ec_sample_completion(
+                    base, chunks, n_samples, k=k, m=m, codec=codec, rng=rng
+                ),
+                f"+{m / k:.0%} bw, P_fallback={fb:.2g}",
+            )
+        )
+
+    table = Table(
+        title=(
+            f"Reliability plan: {size_mib:g} MiB over {bandwidth_gbps:g} Gbit/s, "
+            f"{distance_km:g} km, P_pkt={p_packet:g}"
+        ),
+        columns=["scheme", "mean_ms", "p999_ms", "mean_slowdown", "notes"],
+        notes=f"ideal (lossless) completion: {ideal * 1e3:.3f} ms",
+    )
+    ranked = sorted(candidates, key=lambda c: c[1].mean())
+    for name, samples, note in ranked:
+        s = summarize(samples)
+        table.add_row(
+            name,
+            round(s.mean * 1e3, 3),
+            round(s.p999 * 1e3, 3),
+            round(s.mean / ideal, 3),
+            note,
+        )
+    return table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--bandwidth-gbps", type=float, default=400.0)
+    parser.add_argument("--distance-km", type=float, default=3750.0)
+    parser.add_argument("--drop", type=float, default=1e-5,
+                        help="per-packet (MTU) drop probability")
+    parser.add_argument("--size-mib", type=float, default=128.0)
+    args = parser.parse_args()
+    table = plan(
+        bandwidth_gbps=args.bandwidth_gbps,
+        distance_km=args.distance_km,
+        p_packet=args.drop,
+        size_mib=args.size_mib,
+    )
+    print(table.render())
+    print(f"\nrecommended: {table.rows[0][0]}")
+
+
+if __name__ == "__main__":
+    main()

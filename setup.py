@@ -1,0 +1,9 @@
+"""Shim for environments without the `wheel` package (PEP 660 fallback).
+
+`pip install -e . --no-build-isolation` requires `wheel`; offline boxes can
+use `python setup.py develop` instead, which this shim enables.
+"""
+
+from setuptools import setup
+
+setup()

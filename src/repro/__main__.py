@@ -1,0 +1,5 @@
+"""``python -m repro`` -> the :mod:`repro.cli` entry point."""
+
+from repro.cli import main
+
+raise SystemExit(main())

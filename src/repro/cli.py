@@ -1,0 +1,189 @@
+"""Command-line interface: ``python -m repro <command>`` or ``sdr-rdma``.
+
+Commands:
+
+* ``plan``        -- rank reliability schemes for a deployment (the paper's
+  "design and tune the reliability layer" use case).
+* ``model``       -- evaluate the SR/EC completion-time models at one point.
+* ``campaign``    -- run the synthetic WAN drop-rate campaign (Figure 2).
+* ``experiments`` -- regenerate paper figures (delegates to
+  :mod:`repro.experiments.__main__`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.common.units import KiB, MiB, distance_to_rtt
+from repro.experiments.report import Table
+from repro.models.decode_prob import p_decode_mds, p_decode_xor, p_fallback
+from repro.models.ec_model import ec_expected_completion, ec_sample_completion
+from repro.models.params import ModelParams, packet_to_chunk_drop
+from repro.models.sr_model import (
+    sr_completion_percentile,
+    sr_expected_completion,
+    sr_sample_completion,
+)
+from repro.models.stats import summarize
+
+import numpy as np
+
+
+def _params(args) -> ModelParams:
+    ppc = max(1, int(args.chunk_kib // args.mtu_kib))
+    return ModelParams(
+        bandwidth_bps=args.bandwidth_gbps * 1e9,
+        rtt=distance_to_rtt(args.distance_km),
+        chunk_bytes=int(args.chunk_kib * KiB),
+        drop_probability=packet_to_chunk_drop(args.drop, ppc),
+    )
+
+
+def _add_link_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--bandwidth-gbps", type=float, default=400.0)
+    parser.add_argument("--distance-km", type=float, default=3750.0)
+    parser.add_argument(
+        "--drop", type=float, default=1e-5,
+        help="per-packet (MTU) drop probability",
+    )
+    parser.add_argument("--size-mib", type=float, default=128.0)
+    parser.add_argument("--chunk-kib", type=float, default=64.0)
+    parser.add_argument("--mtu-kib", type=float, default=4.0)
+
+
+def cmd_plan(args) -> int:
+    params = _params(args)
+    size = int(args.size_mib * MiB)
+    chunks = params.chunks_in(size)
+    ideal = params.ideal_completion(size)
+    rng = np.random.default_rng(args.seed)
+    nsub32 = max(1, -(-chunks // 32))
+    table = Table(
+        title=(
+            f"Reliability plan: {args.size_mib:g} MiB over "
+            f"{args.bandwidth_gbps:g} Gbit/s, {args.distance_km:g} km, "
+            f"P_pkt={args.drop:g}"
+        ),
+        columns=["scheme", "mean_ms", "p999_ms", "slowdown", "notes"],
+        notes=f"ideal lossless completion {ideal * 1e3:.3f} ms",
+    )
+    rows = []
+    for name, rto in (("SR RTO", 3.0), ("SR NACK", 1.0)):
+        p = ModelParams(
+            bandwidth_bps=params.bandwidth_bps, rtt=params.rtt,
+            chunk_bytes=params.chunk_bytes,
+            drop_probability=params.drop_probability, rto_rtts=rto,
+        )
+        mean = sr_expected_completion(p, chunks)
+        p999 = sr_completion_percentile(p, chunks, 99.9)
+        rows.append((name, mean, p999, ""))
+    for codec, k, m in (("mds", 32, 8), ("mds", 32, 4), ("xor", 32, 8)):
+        mean = ec_expected_completion(params, chunks, k=k, m=m, codec=codec)
+        samples = ec_sample_completion(
+            params, chunks, args.samples, k=k, m=m, codec=codec, rng=rng
+        )
+        p_dec = (
+            p_decode_mds(params.drop_probability, k, m)
+            if codec == "mds"
+            else p_decode_xor(params.drop_probability, k, m)
+        )
+        rows.append(
+            (
+                f"EC {codec.upper()}({k},{m})",
+                mean,
+                float(np.percentile(samples, 99.9)),
+                f"+{m / k:.0%} bw, P_fb={p_fallback(p_dec, nsub32):.2g}",
+            )
+        )
+    for name, mean, p999, note in sorted(rows, key=lambda r: r[1]):
+        table.add_row(
+            name, round(mean * 1e3, 3), round(p999 * 1e3, 3),
+            round(mean / ideal, 3), note,
+        )
+    print(table.render())
+    print(f"\nrecommended: {table.rows[0][0]}")
+    return 0
+
+
+def cmd_model(args) -> int:
+    params = _params(args)
+    size = int(args.size_mib * MiB)
+    chunks = params.chunks_in(size)
+    rng = np.random.default_rng(args.seed)
+    sr = summarize(sr_sample_completion(params, chunks, args.samples, rng=rng))
+    ec = summarize(
+        ec_sample_completion(params, chunks, args.samples, k=32, m=8, rng=rng)
+    )
+    table = Table(
+        title=f"Model point: {args.size_mib:g} MiB, P_chunk={params.drop_probability:.3g}",
+        columns=["protocol", "analytic_ms", "mc_mean_ms", "mc_p999_ms"],
+    )
+    table.add_row(
+        "SR RTO",
+        round(sr_expected_completion(params, chunks) * 1e3, 3),
+        round(sr.mean * 1e3, 3),
+        round(sr.p999 * 1e3, 3),
+    )
+    table.add_row(
+        "EC MDS(32,8)",
+        round(ec_expected_completion(params, chunks) * 1e3, 3),
+        round(ec.mean * 1e3, 3),
+        round(ec.p999 * 1e3, 3),
+    )
+    print(table.render())
+    return 0
+
+
+def cmd_campaign(args) -> int:
+    from repro.experiments import fig02
+
+    table = fig02.run(trials=args.trials, seed=args.seed)
+    print(table.render())
+    return 0
+
+
+def cmd_experiments(args) -> int:
+    from repro.experiments.__main__ import main as experiments_main
+
+    return experiments_main(args.figures)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="sdr-rdma",
+        description="SDR-RDMA reproduction toolkit (SC'25)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    plan = sub.add_parser("plan", help="rank reliability schemes")
+    _add_link_args(plan)
+    plan.add_argument("--samples", type=int, default=4000)
+    plan.add_argument("--seed", type=int, default=0)
+    plan.set_defaults(fn=cmd_plan)
+
+    model = sub.add_parser("model", help="evaluate completion-time models")
+    _add_link_args(model)
+    model.add_argument("--samples", type=int, default=4000)
+    model.add_argument("--seed", type=int, default=0)
+    model.set_defaults(fn=cmd_model)
+
+    campaign = sub.add_parser("campaign", help="synthetic WAN drop campaign")
+    campaign.add_argument("--trials", type=int, default=200)
+    campaign.add_argument("--seed", type=int, default=0)
+    campaign.set_defaults(fn=cmd_campaign)
+
+    experiments = sub.add_parser("experiments", help="regenerate paper figures")
+    experiments.add_argument("figures", nargs="*", help="e.g. fig09 fig13")
+    experiments.set_defaults(fn=cmd_experiments)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

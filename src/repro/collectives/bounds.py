@@ -1,0 +1,29 @@
+"""Appendix C: lower bound on expected ring Allreduce completion time.
+
+With per-step duration ``t = C + X`` (``C`` the lossless transfer cost,
+``X >= 0`` the reliability delay with mean ``mu_X``), Jensen's inequality on
+the max-plus recurrence gives::
+
+    E[T_allreduce] >= (2N - 2) (C + mu_X)
+
+i.e. the expected reliability cost per step is multiplied by the number of
+sequential ring stages -- the amplification that makes protocol choice so
+consequential for multi-stage collectives.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ConfigError
+
+
+def allreduce_lower_bound(
+    n_datacenters: int, step_cost: float, mean_reliability_delay: float = 0.0
+) -> float:
+    """``(2N - 2) * (C + mu_X)`` (Appendix C, Equation 5)."""
+    if n_datacenters < 2:
+        raise ConfigError(
+            f"ring Allreduce needs >= 2 datacenters, got {n_datacenters}"
+        )
+    if step_cost < 0 or mean_reliability_delay < 0:
+        raise ConfigError("costs must be non-negative")
+    return (2 * n_datacenters - 2) * (step_cost + mean_reliability_delay)

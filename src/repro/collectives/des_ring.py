@@ -1,0 +1,146 @@
+"""Packet-level ring Allreduce across simulated datacenters.
+
+Unlike :mod:`repro.collectives.ring_allreduce` (which samples stage times
+from the Section 4.2 models), this module runs the collective on the full
+stack: N devices in a ring, real SDR QPs and reliability endpoints on every
+directed edge, and the 2N-2-round schedule executed as concurrent DES
+processes.  It is the ground truth the model-based simulator is validated
+against (`tests/collectives/test_des_ring.py`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.config import ChannelConfig, DpaConfig, SdrConfig
+from repro.common.errors import ConfigError
+from repro.reliability.base import ControlPath
+from repro.reliability.ec import EcConfig, EcReceiver, EcSender
+from repro.reliability.gbn import GbnReceiver, GbnSender
+from repro.reliability.sr import SrConfig, SrReceiver, SrSender
+from repro.sdr.context import context_create
+from repro.sim.engine import Simulator
+from repro.verbs.device import Fabric
+
+PROTOCOLS = ("sr", "sr_nack", "ec", "gbn")
+
+
+@dataclass
+class DesRingResult:
+    """Outcome of one packet-level ring Allreduce run."""
+
+    n_datacenters: int
+    buffer_bytes: int
+    protocol: str
+    completion_time: float
+    rounds: int
+    total_retransmitted_chunks: int = 0
+    per_edge_drops: list[int] = field(default_factory=list)
+
+
+def run_des_ring_allreduce(
+    *,
+    n_datacenters: int,
+    buffer_bytes: int,
+    channel: ChannelConfig,
+    protocol: str = "sr",
+    chunk_bytes: int = 16 * 1024,
+    sr_config: SrConfig | None = None,
+    ec_config: EcConfig | None = None,
+    dpa: DpaConfig | None = None,
+    seed: int = 0,
+) -> DesRingResult:
+    """Build the ring, run the 2N-2-round schedule, return timings."""
+    if n_datacenters < 2:
+        raise ConfigError(f"need >= 2 datacenters, got {n_datacenters}")
+    if protocol not in PROTOCOLS:
+        raise ConfigError(f"protocol must be one of {PROTOCOLS}, got {protocol!r}")
+    if buffer_bytes < n_datacenters:
+        raise ConfigError("buffer must be at least one byte per datacenter")
+
+    segment = -(-buffer_bytes // n_datacenters)
+    rounds = 2 * n_datacenters - 2
+
+    ec_cfg = ec_config if ec_config is not None else EcConfig(codec="mds", k=8, m=4)
+    if protocol == "ec":
+        # EC needs 2L SDR slots per in-flight receive.
+        nsub = -(-(-(-segment // chunk_bytes)) // ec_cfg.k)
+        inflight = max(16, 2 * nsub + 2)
+    else:
+        inflight = 16
+    sdr_cfg = SdrConfig(
+        chunk_bytes=chunk_bytes,
+        max_message_bytes=max(segment, chunk_bytes),
+        mtu_bytes=channel.mtu_bytes,
+        channels=4,
+        inflight_messages=min(inflight, 1024),
+    )
+
+    sim = Simulator()
+    fabric = Fabric(sim, seed=seed)
+    devices = [fabric.add_device(f"dc{i}") for i in range(n_datacenters)]
+    for i in range(n_datacenters):
+        fabric.connect(devices[i], devices[(i + 1) % n_datacenters], channel)
+    contexts = [
+        context_create(d, sdr_config=sdr_cfg, dpa_config=dpa) for d in devices
+    ]
+
+    if protocol in ("sr", "sr_nack"):
+        proto_cfg = (
+            sr_config
+            if sr_config is not None
+            else SrConfig(nack_enabled=(protocol == "sr_nack"))
+        )
+    senders, receivers = [], []
+    for i in range(n_datacenters):
+        nxt = (i + 1) % n_datacenters
+        qp_tx = contexts[i].qp_create()
+        qp_rx = contexts[nxt].qp_create()
+        qp_tx.connect(qp_rx.info_get())
+        qp_rx.connect(qp_tx.info_get())
+        ctrl_tx, ctrl_rx = ControlPath(contexts[i]), ControlPath(contexts[nxt])
+        ctrl_tx.connect(ctrl_rx.info())
+        ctrl_rx.connect(ctrl_tx.info())
+        if protocol in ("sr", "sr_nack"):
+            senders.append(SrSender(qp_tx, ctrl_tx, proto_cfg))
+            receivers.append(SrReceiver(qp_rx, ctrl_rx, proto_cfg))
+        elif protocol == "ec":
+            senders.append(EcSender(qp_tx, ctrl_tx, ec_cfg))
+            receivers.append(EcReceiver(qp_rx, ctrl_rx, ec_cfg))
+        else:
+            senders.append(GbnSender(qp_tx, ctrl_tx, sr_config))
+            receivers.append(GbnReceiver(qp_rx, ctrl_rx, sr_config))
+
+    done = sim.event()
+    finished = {"count": 0}
+    retx = {"chunks": 0}
+
+    def datacenter(i: int):
+        mr = contexts[i].mr_reg(segment, name=f"dc{i}.segment")
+        for _ in range(rounds):
+            ticket_in = receivers[(i - 1) % n_datacenters].post_receive(
+                mr, segment
+            )
+            ticket_out = senders[i].write(segment)
+            yield sim.all_of([ticket_in.done, ticket_out.done])
+            retx["chunks"] += ticket_out.retransmitted_chunks
+        finished["count"] += 1
+        if finished["count"] == n_datacenters:
+            done.succeed(sim.now)
+
+    for i in range(n_datacenters):
+        sim.process(datacenter(i))
+    completion = sim.run(done)
+
+    drops = [
+        link.forward.stats.packets_dropped for link in fabric.links.values()
+    ]
+    return DesRingResult(
+        n_datacenters=n_datacenters,
+        buffer_bytes=buffer_bytes,
+        protocol=protocol,
+        completion_time=completion,
+        rounds=rounds,
+        total_retransmitted_chunks=retx["chunks"],
+        per_edge_drops=drops,
+    )

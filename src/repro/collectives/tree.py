@@ -1,0 +1,145 @@
+"""Stage-based tree collectives (the Appendix C generalization).
+
+Appendix C notes that the Allreduce lower-bound analysis "generalizes to
+other stage-based collective algorithms with schedule dependencies, such as
+tree algorithms".  This module provides that generalization:
+
+* :class:`StagedCollective` -- a generic max-plus recurrence engine over an
+  explicit communication schedule (rounds of (src, dst) edges); the finish
+  time of a node is the max of its own and its senders' previous-round
+  finish times plus a sampled stage duration.
+* :func:`binomial_broadcast_schedule` / :func:`binomial_reduce_schedule` --
+  the classic log2(N) binomial-tree schedules.
+* :class:`TreeAllreduce` -- reduce-to-root followed by broadcast, i.e.
+  ``2 * ceil(log2 N)`` dependent stages.
+
+Stage samplers are shared with the ring implementation
+(:mod:`repro.collectives.ring_allreduce`).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.common.errors import ConfigError
+from repro.collectives.ring_allreduce import StageSampler
+
+#: One communication round: a list of (source, destination) node pairs.
+Round = list[tuple[int, int]]
+
+
+def binomial_broadcast_schedule(n_nodes: int, root: int = 0) -> list[Round]:
+    """Binomial-tree broadcast: round r doubles the informed set."""
+    if n_nodes < 1:
+        raise ConfigError(f"need >= 1 node, got {n_nodes}")
+    if not 0 <= root < n_nodes:
+        raise ConfigError(f"root {root} out of range")
+    rounds: list[Round] = []
+    informed = 1
+    while informed < n_nodes:
+        edges: Round = []
+        for i in range(informed):
+            target = i + informed
+            if target < n_nodes:
+                src = (i + root) % n_nodes
+                dst = (target + root) % n_nodes
+                edges.append((src, dst))
+        rounds.append(edges)
+        informed *= 2
+    return rounds
+
+
+def binomial_reduce_schedule(n_nodes: int, root: int = 0) -> list[Round]:
+    """Binomial-tree reduce: the broadcast schedule reversed."""
+    rounds = binomial_broadcast_schedule(n_nodes, root)
+    return [[(dst, src) for (src, dst) in r] for r in reversed(rounds)]
+
+
+class StagedCollective:
+    """Max-plus recurrence over an explicit round schedule.
+
+    For every round, each destination's finish time becomes
+    ``max(T(dst), T(src)) + t`` with ``t`` drawn from the stage sampler;
+    nodes not participating in a round keep their finish time.
+    """
+
+    def __init__(self, n_nodes: int, schedule: list[Round], message_bytes: int):
+        if n_nodes < 1:
+            raise ConfigError(f"need >= 1 node, got {n_nodes}")
+        if message_bytes <= 0:
+            raise ConfigError(f"message must be > 0 bytes, got {message_bytes}")
+        for r in schedule:
+            for src, dst in r:
+                if not (0 <= src < n_nodes and 0 <= dst < n_nodes):
+                    raise ConfigError(f"edge ({src},{dst}) out of range")
+                if src == dst:
+                    raise ConfigError("self-edges are not allowed")
+        self.n_nodes = n_nodes
+        self.schedule = schedule
+        self.message_bytes = message_bytes
+
+    @property
+    def rounds(self) -> int:
+        return len(self.schedule)
+
+    def sample(
+        self,
+        stage_sampler: StageSampler,
+        n_samples: int = 1000,
+        *,
+        rng: np.random.Generator | None = None,
+    ) -> np.ndarray:
+        """Completion-time samples (max over nodes of the final round)."""
+        if n_samples <= 0:
+            raise ConfigError(f"need >= 1 sample, got {n_samples}")
+        rng = rng if rng is not None else np.random.default_rng()
+        finish = np.zeros((n_samples, self.n_nodes))
+        for edges in self.schedule:
+            if not edges:
+                continue
+            durations = stage_sampler(
+                self.message_bytes, n_samples * len(edges), rng
+            ).reshape(n_samples, len(edges))
+            # All edges within a round are concurrent; process against the
+            # pre-round snapshot.
+            snapshot = finish.copy()
+            for j, (src, dst) in enumerate(edges):
+                finish[:, dst] = np.maximum(
+                    snapshot[:, dst], snapshot[:, src]
+                ) + durations[:, j]
+        return finish.max(axis=1)
+
+    def lower_bound(self, stage_cost: float) -> float:
+        """Critical-path bound: rounds x (C + mu_X), Appendix C style."""
+        if stage_cost < 0:
+            raise ConfigError("stage cost must be non-negative")
+        return self.rounds * stage_cost
+
+
+class BinomialBroadcast(StagedCollective):
+    """Broadcast of a full buffer down a binomial tree."""
+
+    def __init__(self, n_nodes: int, buffer_bytes: int, *, root: int = 0):
+        super().__init__(
+            n_nodes, binomial_broadcast_schedule(n_nodes, root), buffer_bytes
+        )
+
+
+class TreeAllreduce(StagedCollective):
+    """Reduce-to-root then broadcast: 2 * ceil(log2 N) dependent stages.
+
+    Each stage moves the full buffer (no segmentation), so the tree wins on
+    latency-bound small buffers while the ring wins on bandwidth-bound
+    large ones -- the classic trade-off, now with lossy stages.
+    """
+
+    def __init__(self, n_nodes: int, buffer_bytes: int, *, root: int = 0):
+        schedule = binomial_reduce_schedule(n_nodes, root)
+        schedule += binomial_broadcast_schedule(n_nodes, root)
+        super().__init__(n_nodes, schedule, buffer_bytes)
+
+    @property
+    def expected_rounds(self) -> int:
+        return 2 * math.ceil(math.log2(max(self.n_nodes, 2)))

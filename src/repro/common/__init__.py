@@ -1,0 +1,60 @@
+"""Shared primitives used across the SDR-RDMA reproduction.
+
+This package contains the pieces every layer of the stack needs:
+
+* :mod:`repro.common.units` -- byte/bandwidth/distance unit helpers and the
+  speed-of-light-in-fiber conversion used throughout the paper's analysis.
+* :mod:`repro.common.bitmap` -- the NumPy-backed :class:`Bitmap` that backs
+  both the SDR backend per-packet bitmap and the frontend chunk bitmap.
+* :mod:`repro.common.config` -- validated configuration dataclasses shared by
+  the network model, the SDR SDK and the reliability layers.
+* :mod:`repro.common.errors` -- the exception hierarchy.
+"""
+
+from repro.common.bitmap import Bitmap
+from repro.common.config import (
+    ChannelConfig,
+    DpaConfig,
+    SdrConfig,
+    default_wan_channel,
+)
+from repro.common.errors import (
+    ConfigError,
+    ReproError,
+    ResourceError,
+    SdrStateError,
+)
+from repro.common.units import (
+    GiB,
+    KiB,
+    MiB,
+    Gbit,
+    Mbit,
+    Tbit,
+    bytes_per_second,
+    distance_to_rtt,
+    injection_time,
+    rtt_to_distance,
+)
+
+__all__ = [
+    "Bitmap",
+    "ChannelConfig",
+    "ConfigError",
+    "DpaConfig",
+    "GiB",
+    "Gbit",
+    "KiB",
+    "MiB",
+    "Mbit",
+    "ReproError",
+    "ResourceError",
+    "SdrConfig",
+    "SdrStateError",
+    "Tbit",
+    "bytes_per_second",
+    "default_wan_channel",
+    "distance_to_rtt",
+    "injection_time",
+    "rtt_to_distance",
+]

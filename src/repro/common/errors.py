@@ -1,0 +1,43 @@
+"""Exception hierarchy for the SDR-RDMA reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class ConfigError(ReproError, ValueError):
+    """A configuration value is invalid or inconsistent."""
+
+
+class ResourceError(ReproError):
+    """A simulated hardware resource (QP slot, mkey, CQ) is exhausted."""
+
+
+class SdrStateError(ReproError):
+    """An SDR API call was made in an invalid object state.
+
+    Mirrors the negative ``int`` return codes of the C API in Table 1 of the
+    paper; in Python we raise instead of returning ``-EINVAL``.
+    """
+
+
+class ProtocolError(ReproError):
+    """A reliability-protocol invariant was violated (malformed ACK, etc.)."""
+
+
+class DecodeFailure(ReproError):
+    """An erasure-coded submessage could not be recovered.
+
+    Carries the indices of the submessages that failed so the caller can
+    fall back to Selective Repeat, as the paper's EC scheme does.
+    """
+
+    def __init__(self, message: str, failed_submessages: tuple[int, ...] = ()):
+        super().__init__(message)
+        self.failed_submessages = tuple(failed_submessages)

@@ -1,0 +1,81 @@
+"""Units and physical constants for inter-datacenter link modeling.
+
+The paper reasons in mixed units: message sizes in KiB/MiB/GiB, link rates in
+Gbit/s and Tbit/s, distances in kilometres and delays in milliseconds.  This
+module centralises the conversions so that every layer of the stack agrees.
+
+Times are SI seconds, sizes are bytes, bandwidths are bits per second, and
+distances are kilometres throughout the library.
+"""
+
+from __future__ import annotations
+
+# -- sizes (bytes) -----------------------------------------------------------
+KiB: int = 1024
+MiB: int = 1024 * KiB
+GiB: int = 1024 * MiB
+
+# -- bandwidths (bits per second) --------------------------------------------
+Mbit: float = 1e6
+Gbit: float = 1e9
+Tbit: float = 1e12
+
+#: Effective propagation speed of light in optical fiber, km/s.  The paper
+#: equates 3750 km with a 25 ms RTT and 1000 km of extra cable with ~6.5 ms
+#: of extra RTT, i.e. RTT = 2 * d / v with v = 3e5 km/s (we follow the
+#: 3750 km = 25 ms anchor, which gives v = 2 * 3750 / 0.025 = 3.0e5 km/s).
+FIBER_KM_PER_S: float = 3.0e5
+
+
+def distance_to_rtt(distance_km: float) -> float:
+    """Round-trip time in seconds for a fiber path of ``distance_km``.
+
+    >>> round(distance_to_rtt(3750.0) * 1e3, 3)
+    25.0
+    """
+    if distance_km < 0:
+        raise ValueError(f"distance must be non-negative, got {distance_km}")
+    return 2.0 * distance_km / FIBER_KM_PER_S
+
+
+def rtt_to_distance(rtt_s: float) -> float:
+    """Inverse of :func:`distance_to_rtt`."""
+    if rtt_s < 0:
+        raise ValueError(f"rtt must be non-negative, got {rtt_s}")
+    return rtt_s * FIBER_KM_PER_S / 2.0
+
+
+def bytes_per_second(bandwidth_bps: float) -> float:
+    """Convert a bandwidth in bits/s to bytes/s."""
+    if bandwidth_bps <= 0:
+        raise ValueError(f"bandwidth must be positive, got {bandwidth_bps}")
+    return bandwidth_bps / 8.0
+
+
+def injection_time(size_bytes: float, bandwidth_bps: float) -> float:
+    """Serialization (injection) time of ``size_bytes`` on a link.
+
+    This is the paper's ``T_INJ`` when called with the chunk size: the inverse
+    of chunk size divided by link bandwidth (LogGP ``G`` times size).
+    """
+    if size_bytes < 0:
+        raise ValueError(f"size must be non-negative, got {size_bytes}")
+    return float(size_bytes) / bytes_per_second(bandwidth_bps)
+
+
+def format_bytes(size_bytes: float) -> str:
+    """Human-readable byte size (``128.0 MiB``) used by experiment reports."""
+    size = float(size_bytes)
+    for unit, factor in (("GiB", GiB), ("MiB", MiB), ("KiB", KiB)):
+        if size >= factor:
+            return f"{size / factor:g} {unit}"
+    return f"{size:g} B"
+
+
+def format_bandwidth(bandwidth_bps: float) -> str:
+    """Human-readable bandwidth (``400 Gbit/s``) used by experiment reports."""
+    bw = float(bandwidth_bps)
+    for unit, factor in (("Tbit/s", Tbit), ("Gbit/s", Gbit), ("Mbit/s", Mbit)):
+        if bw >= factor:
+            return f"{bw / factor:g} {unit}"
+    return f"{bw:g} bit/s"

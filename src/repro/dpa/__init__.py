@@ -1,0 +1,15 @@
+"""Emulated Data Path Accelerator (BlueField-3 / ConnectX-8 DPA).
+
+The DPA is modeled as a pool of worker threads, each serving completion
+queues with a fixed per-CQE processing cost (generation validation + packet
+bitmap update) plus an extra PCIe cost whenever a completion closes a chunk
+and the host-side chunk bitmap must be updated (Section 3.4.2).
+
+The per-CQE cost is *independent of packet payload size*, which is the
+mechanism behind the paper's Figure 15/16 observation that DPA load depends
+on packet rate, not bandwidth.
+"""
+
+from repro.dpa.worker import DpaEngine, DpaWorker
+
+__all__ = ["DpaEngine", "DpaWorker"]

@@ -1,0 +1,144 @@
+"""DPA worker threads and the receive engine that schedules them.
+
+Each :class:`DpaWorker` is a simulated hardware thread that drains the
+completion queues assigned to it.  Processing one CQE costs
+``DpaConfig.per_cqe_seconds`` of the worker's time; if the handler reports
+that the completion closed a bitmap chunk, the worker additionally pays
+``DpaConfig.pcie_update_seconds`` for the host-side chunk-bitmap write.
+
+:class:`DpaEngine` owns the worker pool of one SDR context and maps channel
+CQs onto workers round-robin -- the paper's multi-channel design, where
+"different channels map to separate completion queues, each polled by a
+different receive DPA worker thread" (Section 3.4.1).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.common.config import DpaConfig
+from repro.common.errors import ConfigError
+from repro.sim.engine import Simulator
+from repro.verbs.cq import CompletionQueue, Cqe
+
+#: Handler invoked once a worker finishes processing a CQE.  Returns True
+#: when the completion closed a chunk (triggering the PCIe update cost).
+CqeHandler = Callable[[Cqe], bool]
+
+
+@dataclass
+class WorkerStats:
+    cqes_processed: int = 0
+    chunks_closed: int = 0
+    busy_seconds: float = 0.0
+
+
+class DpaWorker:
+    """One emulated DPA hardware thread serving a set of CQs."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: DpaConfig,
+        *,
+        name: str = "dpa-worker",
+    ):
+        self.sim = sim
+        self.config = config
+        self.name = name
+        self._queues: list[tuple[CompletionQueue, CqeHandler]] = []
+        self.stats = WorkerStats()
+        self._proc: object | None = None
+
+    def assign(self, cq: CompletionQueue, handler: CqeHandler) -> None:
+        """Add a CQ (with its backend handler) to this worker's poll set."""
+        self._queues.append((cq, handler))
+        if self._proc is None:
+            self._proc = self.sim.process(self._run())
+
+    def _next_cqe(self) -> tuple[Cqe, CqeHandler] | None:
+        for cq, handler in self._queues:
+            got = cq.poll(1)
+            if got:
+                return got[0], handler
+        return None
+
+    def _run(self):
+        while True:
+            nxt = self._next_cqe()
+            if nxt is None:
+                yield self.sim.any_of(
+                    [cq.wait_nonempty() for cq, _ in self._queues]
+                )
+                continue
+            cqe, handler = nxt
+            cost = self.config.per_cqe_seconds
+            yield self.sim.timeout(cost)
+            closed_chunk = handler(cqe)
+            if closed_chunk:
+                extra = self.config.pcie_update_seconds
+                if extra > 0:
+                    yield self.sim.timeout(extra)
+                cost += extra
+                self.stats.chunks_closed += 1
+            self.stats.cqes_processed += 1
+            self.stats.busy_seconds += cost
+
+
+class DpaEngine:
+    """Worker pool + CQ-to-worker mapping for one SDR context."""
+
+    def __init__(self, sim: Simulator, config: DpaConfig, *, name: str = "dpa"):
+        self.sim = sim
+        self.config = config
+        self.name = name
+        self.workers: list[DpaWorker] = []
+        self._next_worker = 0
+
+    def spawn_workers(self, count: int | None = None) -> None:
+        """Create the worker pool (default: ``config.worker_threads``)."""
+        n = self.config.worker_threads if count is None else count
+        if n <= 0:
+            raise ConfigError(f"worker count must be > 0, got {n}")
+        if n + len(self.workers) > self.config.total_threads:
+            raise ConfigError(
+                f"requested {n} workers exceeds DPA capacity of "
+                f"{self.config.total_threads} threads"
+            )
+        for _ in range(n):
+            self.workers.append(
+                DpaWorker(
+                    self.sim,
+                    self.config,
+                    name=f"{self.name}.w{len(self.workers)}",
+                )
+            )
+
+    def attach(self, cq: CompletionQueue, handler: CqeHandler) -> None:
+        """Map ``cq`` onto the next worker round-robin with its handler."""
+        if not self.workers:
+            self.spawn_workers()
+        worker = self.workers[self._next_worker % len(self.workers)]
+        self._next_worker += 1
+        worker.assign(cq, handler)
+
+    # -- statistics --------------------------------------------------------------
+
+    @property
+    def cqes_processed(self) -> int:
+        return sum(w.stats.cqes_processed for w in self.workers)
+
+    @property
+    def chunks_closed(self) -> int:
+        return sum(w.stats.chunks_closed for w in self.workers)
+
+    @property
+    def busy_seconds(self) -> float:
+        return sum(w.stats.busy_seconds for w in self.workers)
+
+    def utilization(self, elapsed: float) -> float:
+        """Mean worker utilization over ``elapsed`` simulated seconds."""
+        if elapsed <= 0 or not self.workers:
+            return 0.0
+        return self.busy_seconds / (elapsed * len(self.workers))

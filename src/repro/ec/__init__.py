@@ -1,0 +1,43 @@
+"""Erasure-coding substrate: GF(256) arithmetic, Reed-Solomon and XOR codes.
+
+The paper compares two submessage codes (Section 5.1.1, Appendix B):
+
+* an **MDS** code (Reed-Solomon): recovers a k-chunk data submessage from
+  any k of the k+m coded chunks -- implemented in
+  :mod:`repro.ec.reed_solomon` over GF(2^8) with vectorized NumPy table
+  lookups (the stand-in for Intel ISA-L).
+* a **XOR modulo-group** code: parity i is the XOR of data chunks whose
+  index j satisfies ``j mod m == i``; tolerates one loss per modulo group --
+  implemented in :mod:`repro.ec.xor_code` (the stand-in for the paper's
+  ~100-line AVX-512 OpenMP kernel).
+
+Both implement the :class:`~repro.ec.codec.ErasureCode` interface consumed
+by the EC reliability layer and the Figure 11 codec benchmark.
+"""
+
+from repro.ec.codec import CodecStats, ErasureCode, get_codec, register_codec
+from repro.ec.gf256 import (
+    gf_inv,
+    gf_mat_inv,
+    gf_matmul,
+    gf_mul,
+    gf_mul_bytes,
+    gf_pow,
+)
+from repro.ec.reed_solomon import ReedSolomonCode
+from repro.ec.xor_code import XorCode
+
+__all__ = [
+    "CodecStats",
+    "ErasureCode",
+    "ReedSolomonCode",
+    "XorCode",
+    "get_codec",
+    "gf_inv",
+    "gf_mat_inv",
+    "gf_matmul",
+    "gf_mul",
+    "gf_mul_bytes",
+    "gf_pow",
+    "register_codec",
+]

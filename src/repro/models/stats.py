@@ -1,0 +1,52 @@
+"""Summary statistics for completion-time samples."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class CompletionStats:
+    """Mean and tail percentiles of a completion-time distribution."""
+
+    samples: int
+    mean: float
+    p50: float
+    p99: float
+    p999: float
+    minimum: float
+    maximum: float
+
+    def slowdown(self, ideal: float) -> "CompletionStats":
+        """Normalize every statistic by the ideal (lossless) completion."""
+        if ideal <= 0:
+            raise ConfigError(f"ideal time must be positive, got {ideal}")
+        return CompletionStats(
+            samples=self.samples,
+            mean=self.mean / ideal,
+            p50=self.p50 / ideal,
+            p99=self.p99 / ideal,
+            p999=self.p999 / ideal,
+            minimum=self.minimum / ideal,
+            maximum=self.maximum / ideal,
+        )
+
+
+def summarize(samples: np.ndarray) -> CompletionStats:
+    """Build :class:`CompletionStats` from raw completion-time samples."""
+    arr = np.asarray(samples, dtype=float)
+    if arr.size == 0:
+        raise ConfigError("cannot summarize an empty sample array")
+    return CompletionStats(
+        samples=int(arr.size),
+        mean=float(arr.mean()),
+        p50=float(np.percentile(arr, 50)),
+        p99=float(np.percentile(arr, 99)),
+        p999=float(np.percentile(arr, 99.9)),
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+    )

@@ -1,0 +1,177 @@
+"""Unidirectional lossy, delayed, bandwidth-limited channel.
+
+A :class:`Channel` is the serialize -> propagate -> (maybe drop) pipe between
+two simulated NIC ports.  Serialization is FIFO at the configured line rate,
+so concurrent QPs sharing one physical long-haul link contend naturally.
+Optional per-packet jitter produces the out-of-order deliveries that motivate
+SDR's one-write-per-packet backend (Section 3.2.1 of the paper).
+
+:class:`DuplexLink` bundles the two directions of a link and is what
+:class:`repro.verbs.Fabric` installs between two devices.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.config import ChannelConfig
+from repro.net.loss import BernoulliLoss, LossModel, NoLoss
+from repro.net.packet import Packet
+from repro.sim.engine import Simulator
+
+
+@dataclass
+class ChannelStats:
+    """Counters a channel accumulates; read by tests and benchmarks."""
+
+    packets_offered: int = 0
+    packets_dropped: int = 0
+    packets_duplicated: int = 0
+    tail_drops: int = 0
+    bytes_offered: int = 0
+    bytes_delivered: int = 0
+    busy_until: float = field(default=0.0, repr=False)
+
+    @property
+    def packets_delivered(self) -> int:
+        return self.packets_offered - self.packets_dropped
+
+    @property
+    def observed_drop_rate(self) -> float:
+        if self.packets_offered == 0:
+            return 0.0
+        return self.packets_dropped / self.packets_offered
+
+
+class Channel:
+    """One direction of a link: FIFO serialization, delay, jitter, loss."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: ChannelConfig,
+        *,
+        rng: np.random.Generator,
+        loss: LossModel | None = None,
+        name: str = "channel",
+    ):
+        self.sim = sim
+        self.config = config
+        self.name = name
+        self.rng = rng
+        if loss is None:
+            loss = (
+                BernoulliLoss(config.drop_probability)
+                if config.drop_probability > 0
+                else NoLoss()
+            )
+        self.loss = loss
+        self.stats = ChannelStats()
+        self._sink: Callable[[Packet], None] | None = None
+
+    def attach_sink(self, sink: Callable[[Packet], None]) -> None:
+        """Register the receive-side port that consumes delivered packets."""
+        self._sink = sink
+
+    # -- transmission ----------------------------------------------------------
+
+    def serialization_time(self, size_bytes: int) -> float:
+        return size_bytes / self.config.bytes_per_second
+
+    def transmit(self, packet: Packet) -> float:
+        """Enqueue ``packet`` for transmission; returns injection-done time.
+
+        The caller regains the "wire" once serialization finishes (the
+        returned absolute simulated time); delivery happens asynchronously
+        one propagation delay (plus jitter) later unless dropped.
+        """
+        if self._sink is None:
+            raise RuntimeError(f"{self.name}: no sink attached")
+        now = self.sim.now
+        start = max(now, self.stats.busy_until)
+        self.stats.packets_offered += 1
+        self.stats.bytes_offered += packet.length
+
+        if self.config.buffer_bytes > 0:
+            # Bounded egress buffer: the backlog is the data already queued
+            # but not yet serialized; overflow tail-drops the new packet.
+            backlog = (start - now) * self.config.bytes_per_second
+            if backlog + packet.length > self.config.buffer_bytes:
+                self.stats.packets_dropped += 1
+                self.stats.tail_drops += 1
+                return now  # dropped at enqueue: no wire time consumed
+
+        done = start + self.serialization_time(packet.length)
+        self.stats.busy_until = done
+
+        if self.loss.drops(self.rng, packet.length):
+            self.stats.packets_dropped += 1
+            return done
+
+        self.stats.bytes_delivered += packet.length
+        self.sim.call_at(done + self._flight_delay(), lambda p=packet: self._deliver(p))
+        if (
+            self.config.duplicate_probability > 0
+            and self.rng.random() < self.config.duplicate_probability
+        ):
+            # In-network duplication: the copy takes its own (jittered) path.
+            self.stats.packets_duplicated += 1
+            self.sim.call_at(
+                done + self._flight_delay(), lambda p=packet: self._deliver(p)
+            )
+        return done
+
+    def _flight_delay(self) -> float:
+        delay = self.config.one_way_delay
+        if self.config.jitter_fraction > 0:
+            # Truncated-at-zero Gaussian jitter; enough to reorder packets
+            # whose serialization times are closer than the jitter scale.
+            jitter = self.rng.normal(
+                0.0, self.config.jitter_fraction * max(delay, 1e-9)
+            )
+            delay = max(0.0, delay + jitter)
+        return delay
+
+    def _deliver(self, packet: Packet) -> None:
+        assert self._sink is not None
+        self._sink(packet)
+
+    @property
+    def next_free(self) -> float:
+        """Earliest time a new packet could start serializing."""
+        return max(self.sim.now, self.stats.busy_until)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Channel({self.name}, {self.config.bandwidth_bps / 1e9:g} Gbit/s)"
+
+
+class DuplexLink:
+    """The two directions of a physical link between two devices."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: ChannelConfig,
+        *,
+        rng_fwd: np.random.Generator,
+        rng_rev: np.random.Generator,
+        config_rev: ChannelConfig | None = None,
+        loss_fwd: LossModel | None = None,
+        loss_rev: LossModel | None = None,
+        name: str = "link",
+    ):
+        self.forward = Channel(
+            sim, config, rng=rng_fwd, loss=loss_fwd, name=f"{name}.fwd"
+        )
+        self.reverse = Channel(
+            sim,
+            config_rev if config_rev is not None else config,
+            rng=rng_rev,
+            loss=loss_rev,
+            name=f"{name}.rev",
+        )
+        self.config = config
+        self.name = name

@@ -1,0 +1,162 @@
+"""Multi-plane / ECMP-style bonded channels.
+
+Section 3.4.1 of the paper: "by spreading traffic across channel QPs, SDR
+could leverage intra-datacenter multi-pathing (e.g., ECMP) and multi-plane
+networks".  :class:`BondedChannel` models that substrate: N independent
+*planes* (each its own serializer, delay, jitter and loss process) bonded
+into one logical channel.  Packets are spread across planes by source QP
+(flow-hash, the ECMP behaviour) or per-packet round-robin (packet spray).
+
+Because SDR issues one single-packet Write-with-immediate per MTU, packets
+of one message legitimately traverse different planes and arrive reordered
+-- which plain UC multi-packet messages cannot survive (see
+``tests/net/test_multipath.py`` and the Figure-ablation bench).
+
+A bonded channel exposes the same ``transmit``/``attach_sink`` interface as
+:class:`~repro.net.channel.Channel`, so devices and QPs use it unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.common.config import ChannelConfig
+from repro.common.errors import ConfigError
+from repro.net.channel import Channel, ChannelStats
+from repro.net.loss import LossModel
+from repro.net.packet import Packet
+from repro.sim.engine import Simulator
+
+
+class BondedChannel:
+    """N parallel planes behind a single logical channel interface.
+
+    ``config.bandwidth_bps`` is the *aggregate*; each plane serializes at
+    ``bandwidth / planes``.  ``spread`` selects the spraying policy:
+
+    * ``"flow"``  -- plane = hash(src QP): per-flow ECMP, order-preserving
+      within a QP;
+    * ``"packet"`` -- round-robin packet spray: maximal load balance,
+      reorders freely (only safe above SDR-style per-packet transports).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: ChannelConfig,
+        *,
+        planes: int,
+        rng: np.random.Generator,
+        spread: str = "flow",
+        plane_loss: list[LossModel] | None = None,
+        name: str = "bonded",
+    ):
+        if planes < 1:
+            raise ConfigError(f"need >= 1 plane, got {planes}")
+        if spread not in ("flow", "packet"):
+            raise ConfigError(f"spread must be 'flow' or 'packet', got {spread!r}")
+        if plane_loss is not None and len(plane_loss) != planes:
+            raise ConfigError(
+                f"plane_loss needs {planes} entries, got {len(plane_loss)}"
+            )
+        self.sim = sim
+        self.config = config
+        self.planes_count = planes
+        self.spread = spread
+        self.name = name
+        per_plane = replace(config, bandwidth_bps=config.bandwidth_bps / planes)
+        self.planes = [
+            Channel(
+                sim,
+                per_plane,
+                rng=np.random.default_rng(rng.integers(0, 2**63)),
+                loss=plane_loss[i] if plane_loss is not None else None,
+                name=f"{name}.plane{i}",
+            )
+            for i in range(planes)
+        ]
+        self._rr = 0
+
+    # -- Channel interface ---------------------------------------------------------
+
+    def attach_sink(self, sink) -> None:
+        for plane in self.planes:
+            plane.attach_sink(sink)
+
+    def transmit(self, packet: Packet) -> float:
+        return self.planes[self._pick(packet)].transmit(packet)
+
+    def _pick(self, packet: Packet) -> int:
+        if self.spread == "flow":
+            return packet.src_qpn % self.planes_count
+        index = self._rr
+        self._rr = (self._rr + 1) % self.planes_count
+        return index
+
+    @property
+    def next_free(self) -> float:
+        return min(plane.next_free for plane in self.planes)
+
+    @property
+    def stats(self) -> ChannelStats:
+        """Aggregate statistics across planes (fresh snapshot)."""
+        agg = ChannelStats()
+        for plane in self.planes:
+            agg.packets_offered += plane.stats.packets_offered
+            agg.packets_dropped += plane.stats.packets_dropped
+            agg.packets_duplicated += plane.stats.packets_duplicated
+            agg.bytes_offered += plane.stats.bytes_offered
+            agg.bytes_delivered += plane.stats.bytes_delivered
+            agg.busy_until = max(agg.busy_until, plane.stats.busy_until)
+        return agg
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"BondedChannel({self.name}, {self.planes_count} planes, "
+            f"{self.spread} spread)"
+        )
+
+
+def connect_bonded(
+    fabric,
+    a,
+    b,
+    config: ChannelConfig,
+    *,
+    planes: int,
+    spread: str = "flow",
+    plane_loss_fwd: list[LossModel] | None = None,
+    plane_loss_rev: list[LossModel] | None = None,
+):
+    """Install a bonded multi-plane link between devices ``a`` and ``b``.
+
+    The bonded-channel analogue of :meth:`repro.verbs.Fabric.connect`;
+    returns the (forward, reverse) bonded channels.
+    """
+    key = (a.name, b.name)
+    if key in fabric.links or (b.name, a.name) in fabric.links:
+        raise ConfigError(f"{a.name} and {b.name} are already connected")
+    fwd = BondedChannel(
+        fabric.sim,
+        config,
+        planes=planes,
+        rng=fabric.rng.get(f"bond.{a.name}->{b.name}"),
+        spread=spread,
+        plane_loss=plane_loss_fwd,
+        name=f"{a.name}->{b.name}",
+    )
+    rev = BondedChannel(
+        fabric.sim,
+        config,
+        planes=planes,
+        rng=fabric.rng.get(f"bond.{b.name}->{a.name}"),
+        spread=spread,
+        plane_loss=plane_loss_rev,
+        name=f"{b.name}->{a.name}",
+    )
+    a.attach_link(b.name, fwd, rev)
+    b.attach_link(a.name, rev, fwd)
+    fabric.links[key] = (fwd, rev)
+    return fwd, rev

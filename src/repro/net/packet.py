@@ -1,0 +1,77 @@
+"""The wire unit exchanged between simulated NICs.
+
+A :class:`Packet` corresponds to one RoCE frame.  The header fields mirror
+the subset of the InfiniBand Base Transport Header the simulation needs:
+destination QP number, packet sequence number, opcode, RDMA extended header
+(remote key + offset) and the 32-bit immediate.
+
+Payload handling: protocol-correctness tests carry real ``bytes`` so that
+erasure decoding operates on genuine data; performance benchmarks carry only
+``length`` (``payload=None``) because the paper's own DPA result hinges on
+workers touching completions, not payloads (Section 5.4.2).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+
+
+class Opcode(enum.Enum):
+    """RDMA opcodes the simulated transports understand."""
+
+    UD_SEND = "ud_send"
+    WRITE_ONLY = "write_only"          # single-packet RDMA Write
+    WRITE_ONLY_IMM = "write_only_imm"  # single-packet Write-with-immediate
+    WRITE_FIRST = "write_first"        # first packet of a multi-packet Write
+    WRITE_MIDDLE = "write_middle"
+    WRITE_LAST = "write_last"
+    WRITE_LAST_IMM = "write_last_imm"
+    ACK = "ack"                        # RC transport-level acknowledgment
+
+
+_packet_ids = itertools.count()
+
+
+@dataclass(slots=True)
+class Packet:
+    """One simulated wire packet."""
+
+    dst_qpn: int
+    opcode: Opcode
+    psn: int = 0
+    #: RDMA extended header: key identifying the remote (possibly indirect)
+    #: memory region and the byte offset to write at.
+    rkey: int = 0
+    remote_offset: int = 0
+    #: Payload length on the wire in bytes (headers are not modeled).
+    length: int = 0
+    #: Actual payload bytes, or None when only timing matters.
+    payload: bytes | None = None
+    #: 32-bit immediate data (present for *_IMM and UD_SEND opcodes).
+    immediate: int | None = None
+    src_qpn: int = 0
+    uid: int = field(default_factory=lambda: next(_packet_ids))
+
+    def __post_init__(self) -> None:
+        if self.payload is not None and len(self.payload) != self.length:
+            raise ValueError(
+                f"payload length {len(self.payload)} != declared {self.length}"
+            )
+        if self.immediate is not None and not 0 <= self.immediate < 2**32:
+            raise ValueError(f"immediate must fit 32 bits, got {self.immediate}")
+
+    @property
+    def carries_immediate(self) -> bool:
+        return self.opcode in (
+            Opcode.WRITE_ONLY_IMM,
+            Opcode.WRITE_LAST_IMM,
+            Opcode.UD_SEND,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Packet(#{self.uid} {self.opcode.value} psn={self.psn} "
+            f"dst_qpn={self.dst_qpn} off={self.remote_offset} len={self.length})"
+        )

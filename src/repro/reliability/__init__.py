@@ -1,0 +1,66 @@
+"""Reliability layers built on the SDR partial-completion bitmap.
+
+Two protocol families from Section 4 of the paper:
+
+* :mod:`repro.reliability.sr` -- Selective Repeat (ARQ): streaming SDR sends
+  with per-chunk retransmission timeouts, cumulative+selective ACKs, and an
+  optional NACK fast path.
+* :mod:`repro.reliability.ec` -- Erasure Coding (FEC): speculative parity
+  submessages, receiver-side in-place recovery, fallback timeout (FTO) and
+  Selective Repeat fallback for unrecoverable submessages.
+
+Plus two demonstrations of the software-defined premise (new reliability
+schemes without new silicon):
+
+* :mod:`repro.reliability.gbn` -- Go-Back-N, the commodity-NIC baseline,
+  as an SDR user (cumulative-only ACKs, window rewind on timeout).
+* :mod:`repro.reliability.adaptive` -- per-connection protocol
+  provisioning (Section 2.1): the receiver picks SR or EC per message from
+  a model-driven advisor fed by its observed drop rate.
+
+Shared plumbing lives in :mod:`repro.reliability.base` (control path,
+tickets) and :mod:`repro.reliability.messages` (ACK/NACK wire formats).
+"""
+
+from repro.reliability.adaptive import (
+    AdaptiveReceiver,
+    AdaptiveSender,
+    DropRateEstimator,
+    ProtocolAdvisor,
+)
+from repro.reliability.base import ControlPath, ReceiveTicket, WriteTicket
+from repro.reliability.ec import EcConfig, EcReceiver, EcSender
+from repro.reliability.gbn import GbnReceiver, GbnSender
+from repro.reliability.messages import (
+    Ack,
+    EcAck,
+    EcNack,
+    Provision,
+    SrNack,
+    decode_message,
+)
+from repro.reliability.sr import SrConfig, SrReceiver, SrSender
+
+__all__ = [
+    "Ack",
+    "AdaptiveReceiver",
+    "AdaptiveSender",
+    "ControlPath",
+    "DropRateEstimator",
+    "EcAck",
+    "EcConfig",
+    "EcNack",
+    "EcReceiver",
+    "EcSender",
+    "GbnReceiver",
+    "GbnSender",
+    "ProtocolAdvisor",
+    "Provision",
+    "ReceiveTicket",
+    "SrConfig",
+    "SrNack",
+    "SrReceiver",
+    "SrSender",
+    "WriteTicket",
+    "decode_message",
+]

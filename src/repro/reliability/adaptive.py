@@ -1,0 +1,282 @@
+"""Adaptive per-connection reliability provisioning.
+
+Section 2.1 of the paper: "a single endpoint might communicate with remote
+endpoints at varying distances.  Achieving optimal message completion times
+in this scenario may require per-connection reliability protocol
+provisioning."  This module is that provisioner.
+
+Design
+------
+
+* :class:`ProtocolAdvisor` -- the offline decision engine.  Given link
+  parameters and a message size it evaluates the Section 4.2
+  completion-time models for SR RTO, SR NACK and a menu of EC
+  configurations and returns the ranking (the same engine behind
+  ``examples/reliability_planner.py``).
+* :class:`AdaptiveReceiver` -- owns the ground truth: it observes loss
+  directly (duplicate packets delivered by retransmissions, submessages
+  that needed parity decoding) and keeps an EWMA drop-rate estimate.  For
+  every posted receive it asks the advisor, posts through the chosen
+  protocol, and announces the choice to the peer in a ``Provision``
+  control message (receives are posted before sends anyway -- the
+  announcement rides the same ordering that clear-to-send relies on).
+* :class:`AdaptiveSender` -- queues writes until the matching provision
+  arrives, then dispatches each write through the protocol the receiver
+  chose.  Provisions are re-announced on a short timer until the message
+  completes, so a dropped control datagram cannot wedge the connection.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigError
+from repro.models.ec_model import ec_expected_completion
+from repro.models.params import ModelParams
+from repro.models.sr_model import sr_expected_completion
+from repro.reliability.base import ControlPath, ReceiveTicket, WriteTicket
+from repro.reliability.ec import EcConfig, EcReceiver, EcSender
+from repro.reliability.messages import Provision
+from repro.reliability.sr import SrConfig, SrReceiver, SrSender
+from repro.sdr.qp import SdrQp
+from repro.verbs.mr import MemoryRegion
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """One ranked protocol option."""
+
+    name: str
+    expected_seconds: float
+    detail: str = ""
+
+
+class ProtocolAdvisor:
+    """Model-driven protocol selection for one link."""
+
+    def __init__(
+        self,
+        *,
+        bandwidth_bps: float,
+        rtt: float,
+        chunk_bytes: int,
+        ec_menu: tuple[tuple[str, int, int], ...] = (
+            ("mds", 32, 8),
+            ("mds", 32, 4),
+            ("xor", 32, 8),
+        ),
+    ):
+        if not ec_menu:
+            raise ConfigError("EC menu must not be empty")
+        self.bandwidth_bps = bandwidth_bps
+        self.rtt = rtt
+        self.chunk_bytes = chunk_bytes
+        self.ec_menu = ec_menu
+
+    def rank(
+        self, message_bytes: int, chunk_drop_probability: float
+    ) -> list[Recommendation]:
+        """All options ordered by expected completion time."""
+        p = min(max(chunk_drop_probability, 0.0), 0.99)
+        params = ModelParams(
+            bandwidth_bps=self.bandwidth_bps,
+            rtt=self.rtt,
+            chunk_bytes=self.chunk_bytes,
+            drop_probability=p,
+        )
+        chunks = params.chunks_in(message_bytes)
+        out = [
+            Recommendation(
+                "sr_rto", sr_expected_completion(params, chunks), "RTO = 3 RTT"
+            ),
+        ]
+        for codec, k, m in self.ec_menu:
+            out.append(
+                Recommendation(
+                    f"ec_{codec}_{k}_{m}",
+                    ec_expected_completion(params, chunks, k=k, m=m, codec=codec),
+                    f"{codec.upper()}({k},{m})",
+                )
+            )
+        out.sort(key=lambda r: r.expected_seconds)
+        return out
+
+    def best(
+        self, message_bytes: int, chunk_drop_probability: float
+    ) -> Recommendation:
+        return self.rank(message_bytes, chunk_drop_probability)[0]
+
+
+class DropRateEstimator:
+    """EWMA of the observed chunk drop rate."""
+
+    def __init__(self, *, initial: float = 1e-6, alpha: float = 0.3):
+        if not 0 < alpha <= 1:
+            raise ConfigError(f"alpha must be in (0, 1], got {alpha}")
+        self.alpha = alpha
+        self.estimate = float(initial)
+        self.observations = 0
+
+    def observe(self, lost_chunks: float, total_chunks: int) -> float:
+        """Fold one message's loss observation into the estimate."""
+        if total_chunks <= 0:
+            raise ConfigError("total_chunks must be positive")
+        sample = min(max(lost_chunks, 0.0) / total_chunks, 0.99)
+        self.estimate = (1 - self.alpha) * self.estimate + self.alpha * sample
+        self.observations += 1
+        return self.estimate
+
+
+def _default_advisor(qp: SdrQp, rtt: float, ec_config: EcConfig) -> ProtocolAdvisor:
+    bw = (
+        qp.data_qps[0][0].channel.config.bandwidth_bps
+        if qp.connected and qp.data_qps[0][0].channel is not None
+        else 100e9
+    )
+    return ProtocolAdvisor(
+        bandwidth_bps=bw,
+        rtt=rtt,
+        chunk_bytes=qp.config.chunk_bytes,
+        ec_menu=((ec_config.codec, ec_config.k, ec_config.m),),
+    )
+
+
+class AdaptiveReceiver:
+    """Chooses the protocol per message and announces it to the sender."""
+
+    def __init__(
+        self,
+        qp: SdrQp,
+        ctrl: ControlPath,
+        *,
+        sr_config: SrConfig | None = None,
+        ec_config: EcConfig | None = None,
+        advisor: ProtocolAdvisor | None = None,
+        estimator: DropRateEstimator | None = None,
+        rtt: float | None = None,
+    ):
+        self.qp = qp
+        self.sim = qp.sim
+        self.ctrl = ctrl
+        self.rtt = rtt if rtt is not None else qp.ctx.channel_rtt_hint()
+        ec_config = ec_config if ec_config is not None else EcConfig()
+        self.sr = SrReceiver(qp, ctrl, sr_config, rtt=self.rtt)
+        self.ec = EcReceiver(qp, ctrl, ec_config, rtt=self.rtt)
+        self.advisor = (
+            advisor if advisor is not None
+            else _default_advisor(qp, self.rtt, ec_config)
+        )
+        self.estimator = estimator if estimator is not None else DropRateEstimator()
+        self.protocol_history: list[str] = []
+        self._msg_index = 0
+
+    def post_receive(
+        self, mr: MemoryRegion, length: int, mr_offset: int = 0
+    ) -> ReceiveTicket:
+        choice = self._choose(length)
+        index = self._msg_index
+        self._msg_index += 1
+        self.protocol_history.append(choice)
+        backend = self.ec if choice == "ec" else self.sr
+        ticket = backend.post_receive(mr, length, mr_offset)
+        self.sim.process(self._announce(index, choice, ticket))
+        ticket.done.callbacks.append(lambda ev: self._learn(ticket, length))
+        return ticket
+
+    def _choose(self, length: int) -> str:
+        best = self.advisor.best(length, self.estimator.estimate)
+        return "ec" if best.name.startswith("ec") else "sr"
+
+    def _announce(self, index: int, choice: str, ticket: ReceiveTicket):
+        """Send the provision, refreshing until the message completes."""
+        for _ in range(20):
+            self.ctrl.send(Provision(msg_seq=index, protocol=choice))
+            if ticket.finish_time is not None:
+                return
+            yield self.sim.timeout(max(self.rtt, 1e-4))
+
+    def _learn(self, ticket: ReceiveTicket, length: int) -> None:
+        total = self.qp.config.chunks_in(length)
+        ppc = max(1, self.qp.config.packets_per_chunk)
+        # Two receiver-side loss signals: duplicate packets (chunks the SR
+        # path retransmitted) and parity-decoded chunks (losses the EC path
+        # absorbed without retransmission).
+        duplicates = sum(rh.duplicate_packets for rh in ticket.recv_handles)
+        lost_chunks = duplicates / ppc + float(ticket.decoded_chunks)
+        self.estimator.observe(lost_chunks, total)
+
+
+class AdaptiveSender:
+    """Dispatches each write through the receiver-provisioned protocol."""
+
+    def __init__(
+        self,
+        qp: SdrQp,
+        ctrl: ControlPath,
+        *,
+        sr_config: SrConfig | None = None,
+        ec_config: EcConfig | None = None,
+        rtt: float | None = None,
+    ):
+        self.qp = qp
+        self.sim = qp.sim
+        self.ctrl = ctrl
+        self.rtt = rtt if rtt is not None else qp.ctx.channel_rtt_hint()
+        ec_config = ec_config if ec_config is not None else EcConfig()
+        self.sr = SrSender(qp, ctrl, sr_config, rtt=self.rtt)
+        self.ec = EcSender(qp, ctrl, ec_config, rtt=self.rtt)
+        self.protocol_history: list[str] = []
+        self._provisions: dict[int, str] = {}
+        self._waiters: dict[int, object] = {}
+        self._msg_index = 0
+        ctrl.on_message(self._on_ctrl)
+
+    def write(self, length: int, payload: bytes | None = None) -> WriteTicket:
+        """Reliable write via whatever protocol the receiver provisioned.
+
+        Returns a facade ticket that resolves once the underlying protocol
+        write completes (the provision may not have arrived yet when this
+        is called, hence the indirection).
+        """
+        index = self._msg_index
+        self._msg_index += 1
+        facade = WriteTicket(
+            seq=index, length=length, start_time=self.sim.now,
+            done=self.sim.event(),
+        )
+        self.sim.process(self._dispatch(facade, index, length, payload))
+        return facade
+
+    def _dispatch(self, facade: WriteTicket, index: int, length: int, payload):
+        choice = self._provisions.get(index)
+        while choice is None:
+            wake = self.sim.event()
+            self._waiters[index] = wake
+            yield wake
+            choice = self._provisions.get(index)
+        self.protocol_history.append(choice)
+        backend = self.ec if choice == "ec" else self.sr
+        inner = backend.write(length, payload)
+
+        def _relay(ev) -> None:
+            facade.retransmitted_chunks = inner.retransmitted_chunks
+            facade.nacks_received = inner.nacks_received
+            facade.fell_back_to_sr = inner.fell_back_to_sr
+            if inner.failed:
+                facade.failed = True
+                if not facade.done.triggered:
+                    facade.done.fail(ev._error)
+            else:
+                facade._finish(self.sim.now)
+
+        inner.done.callbacks.append(_relay)
+
+    def _on_ctrl(self, msg) -> None:
+        if not isinstance(msg, Provision):
+            return
+        if msg.msg_seq not in self._provisions:
+            self._provisions[msg.msg_seq] = msg.protocol
+            wake = self._waiters.pop(msg.msg_seq, None)
+            if wake is not None and not wake.triggered:
+                wake.succeed(None)

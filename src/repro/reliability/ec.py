@@ -1,0 +1,507 @@
+"""Erasure-coding reliability over the SDR bitmap (Section 4.1.2).
+
+The sender splits an M-chunk message into ``L = ceil(M / k)`` data
+submessages of ``k`` chunks, erasure-codes each into ``m`` parity chunks,
+and ships 2L SDR sends (data submessages first, parity alongside as
+encoding completes).  Encoding overlaps injection; its cost is simulated by
+an ``encode_bps`` budget (the paper hides it on spare CPU cores).
+
+The receiver watches the per-submessage bitmaps.  Once every data
+submessage is *recoverable* (enough of its k+m coded chunks arrived), it
+decodes in place and returns a single positive ACK.  A fallback timeout::
+
+    FTO = (M + ceil(M/R)) * T_INJ + beta * RTT          (R = k/m)
+
+armed when the first chunk of the message is observed, triggers an EC NACK
+listing the failed submessages and their missing data chunks; those chunks
+are then selectively repeated until the message completes -- the SR
+fallback.  A global timeout at message post guards against total loss of
+the first transmission.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import ConfigError, DecodeFailure, ProtocolError
+from repro.ec.codec import ErasureCode, get_codec
+from repro.reliability.base import ControlPath, ReceiveTicket, WriteTicket
+from repro.reliability.messages import EcAck, EcNack
+from repro.sdr.handles import RecvHandle, SendHandle
+from repro.sdr.qp import SdrQp, SdrRecvWr, SdrSendWr
+from repro.verbs.mr import MemoryRegion
+
+
+@dataclass(frozen=True)
+class EcConfig:
+    """Tuning knobs for the Erasure Coding layer."""
+
+    codec: str = "mds"
+    k: int = 32
+    m: int = 8
+    #: FTO slack in RTTs (the paper's beta; with alpha = 2 switch buffering,
+    #: beta = 0.5 * alpha = 1).
+    beta_rtts: float = 1.0
+    #: Spacing of fallback NACK rounds, in RTTs.
+    fallback_interval_rtts: float = 1.0
+    #: Simulated encode/decode throughput in bits/s (None = free, i.e. fully
+    #: hidden on spare cores as the paper assumes).
+    encode_bps: float | None = None
+    decode_bps: float | None = None
+    #: Spare CPU cores encoding in parallel (Figure 11's "cores needed to
+    #: hide encoding"); effective encode rate = encode_bps * encode_workers.
+    encode_workers: int = 1
+    #: Receiver re-ACK grace period after completion, in RTTs.
+    grace_rtts: float = 10.0
+    #: Sender-side deadlock guard, in RTTs past the expected completion.
+    global_timeout_rtts: float = 200.0
+
+    def __post_init__(self) -> None:
+        if self.k <= 0 or self.m <= 0:
+            raise ConfigError(f"need k, m > 0, got k={self.k}, m={self.m}")
+        if self.beta_rtts < 0 or self.fallback_interval_rtts <= 0:
+            raise ConfigError("invalid EC timing parameters")
+        for bps in (self.encode_bps, self.decode_bps):
+            if bps is not None and bps <= 0:
+                raise ConfigError("encode/decode rates must be positive")
+        if self.encode_workers < 1:
+            raise ConfigError(
+                f"need >= 1 encode worker, got {self.encode_workers}"
+            )
+
+    @property
+    def parity_ratio(self) -> float:
+        return self.k / self.m
+
+    def make_codec(self) -> ErasureCode:
+        return get_codec(self.codec, self.k, self.m)
+
+
+@dataclass
+class _Layout:
+    """Chunk/submessage geometry shared by both endpoints."""
+
+    length: int
+    chunk_bytes: int
+    k: int
+    m: int
+
+    @property
+    def nchunks(self) -> int:
+        return -(-self.length // self.chunk_bytes)
+
+    @property
+    def nsub(self) -> int:
+        return -(-self.nchunks // self.k)
+
+    def sub_chunks(self, i: int) -> int:
+        """Real data chunks in submessage ``i`` (the rest are zero padding)."""
+        if i < self.nsub - 1:
+            return self.k
+        return self.nchunks - (self.nsub - 1) * self.k
+
+    def sub_bytes(self, i: int) -> int:
+        start = i * self.k * self.chunk_bytes
+        return min(self.k * self.chunk_bytes, self.length - start)
+
+    def sub_offset(self, i: int) -> int:
+        return i * self.k * self.chunk_bytes
+
+    @property
+    def parity_bytes(self) -> int:
+        return self.m * self.chunk_bytes
+
+    @property
+    def total_parity_chunks(self) -> int:
+        return self.nsub * self.m
+
+    def chunk_of(self, sub: int, chunk_in_sub: int) -> int:
+        return sub * self.k + chunk_in_sub
+
+
+class _EcSendState:
+    def __init__(
+        self,
+        ticket: WriteTicket,
+        layout: _Layout,
+        data_hdls: list[SendHandle],
+        parity_hdls: list[SendHandle],
+        payload: bytes | None,
+    ):
+        self.ticket = ticket
+        self.layout = layout
+        self.data_hdls = data_hdls
+        self.parity_hdls = parity_hdls
+        self.payload = payload
+        self.done = False
+
+
+class EcSender:
+    """Sender endpoint of the Erasure Coding protocol."""
+
+    def __init__(
+        self,
+        qp: SdrQp,
+        ctrl: ControlPath,
+        config: EcConfig | None = None,
+        *,
+        rtt: float | None = None,
+    ):
+        self.qp = qp
+        self.sim = qp.sim
+        self.ctrl = ctrl
+        self.config = config if config is not None else EcConfig()
+        self.codec = self.config.make_codec()
+        self.rtt = rtt if rtt is not None else qp.ctx.channel_rtt_hint()
+        ctrl.on_message(self._on_ctrl)
+        self._states: dict[int, _EcSendState] = {}
+
+    # -- public API --------------------------------------------------------------------
+
+    def write(self, length: int, payload: bytes | None = None) -> WriteTicket:
+        """Reliably write ``length`` bytes with speculative parity."""
+        layout = _Layout(
+            length=length,
+            chunk_bytes=self.qp.config.chunk_bytes,
+            k=self.config.k,
+            m=self.config.m,
+        )
+        # Create all send contexts up front in the agreed matching order:
+        # data submessages 0..L-1 first, then parity submessages 0..L-1.
+        data_hdls = [
+            self.qp.send_stream_start(SdrSendWr(length=layout.sub_bytes(i)))
+            for i in range(layout.nsub)
+        ]
+        parity_hdls = [
+            self.qp.send_stream_start(SdrSendWr(length=layout.parity_bytes))
+            for i in range(layout.nsub)
+        ]
+        ticket = WriteTicket(
+            seq=data_hdls[0].seq,
+            length=length,
+            start_time=self.sim.now,
+            done=self.sim.event(),
+        )
+        state = _EcSendState(ticket, layout, data_hdls, parity_hdls, payload)
+        self._states[ticket.seq] = state
+        self.sim.process(self._inject_data(state))
+        self.sim.process(self._encode_and_inject_parity(state))
+        self.sim.process(self._global_timeout(state))
+        return ticket
+
+    # -- data / parity pumps -------------------------------------------------------------
+
+    def _inject_data(self, state: _EcSendState):
+        layout = state.layout
+        for i in range(layout.nsub):
+            sub_bytes = layout.sub_bytes(i)
+            piece = None
+            if state.payload is not None:
+                off = layout.sub_offset(i)
+                piece = state.payload[off : off + sub_bytes]
+            self.qp.send_stream_continue(state.data_hdls[i], 0, sub_bytes, piece)
+        return
+        yield  # pragma: no cover - generator marker
+
+    def _encode_and_inject_parity(self, state: _EcSendState):
+        layout = state.layout
+        for i in range(layout.nsub):
+            if self.config.encode_bps is not None:
+                rate = self.config.encode_bps * self.config.encode_workers
+                yield self.sim.timeout(layout.sub_bytes(i) * 8.0 / rate)
+            parity_payload = None
+            if state.payload is not None:
+                parity_payload = self._compute_parity(state, i)
+            self.qp.send_stream_continue(
+                state.parity_hdls[i], 0, layout.parity_bytes, parity_payload
+            )
+
+    def _compute_parity(self, state: _EcSendState, sub: int) -> bytes:
+        layout = state.layout
+        data = np.zeros((layout.k, layout.chunk_bytes), dtype=np.uint8)
+        off = layout.sub_offset(sub)
+        sub_bytes = layout.sub_bytes(sub)
+        raw = np.frombuffer(state.payload, dtype=np.uint8, count=sub_bytes, offset=off)
+        full = sub_bytes // layout.chunk_bytes
+        if full:
+            data[:full] = raw[: full * layout.chunk_bytes].reshape(full, -1)
+        tail = sub_bytes - full * layout.chunk_bytes
+        if tail:
+            data[full, :tail] = raw[full * layout.chunk_bytes :]
+        return self.codec.encode(data).tobytes()
+
+    def _global_timeout(self, state: _EcSendState):
+        """Deadlock guard: fail the write if no ACK within the global budget."""
+        assert self.qp.data_qps[0][0].channel is not None
+        bw = self.qp.data_qps[0][0].channel.config.bytes_per_second
+        expected = state.layout.length / bw + 2 * self.rtt
+        budget = expected + self.config.global_timeout_rtts * self.rtt
+        yield self.sim.timeout(budget)
+        if not state.done:
+            state.ticket.failed = True
+            self._states.pop(state.ticket.seq, None)
+            if not state.ticket.done.triggered:
+                state.ticket.done.fail(
+                    ProtocolError(f"EC write seq={state.ticket.seq} timed out")
+                )
+
+    # -- control-path handling --------------------------------------------------------------
+
+    def _on_ctrl(self, msg) -> None:
+        if isinstance(msg, EcAck):
+            state = self._states.pop(msg.msg_seq, None)
+            if state is None:
+                return
+            state.done = True
+            for hdl in state.data_hdls + state.parity_hdls:
+                if not hdl.ended:
+                    self.qp.send_stream_end(hdl)
+            state.ticket._finish(self.sim.now)
+        elif isinstance(msg, EcNack):
+            state = self._states.get(msg.msg_seq)
+            if state is None:
+                return
+            state.ticket.nacks_received += 1
+            state.ticket.fell_back_to_sr = True
+            layout = state.layout
+            for chunk in msg.missing_chunks:
+                sub, j = divmod(int(chunk), layout.k)
+                if sub >= layout.nsub or j >= layout.sub_chunks(sub):
+                    continue
+                off = j * layout.chunk_bytes
+                clen = min(layout.chunk_bytes, layout.sub_bytes(sub) - off)
+                piece = None
+                if state.payload is not None:
+                    base = layout.sub_offset(sub) + off
+                    piece = state.payload[base : base + clen]
+                self.qp.send_stream_continue(state.data_hdls[sub], off, clen, piece)
+                state.ticket.retransmitted_chunks += 1
+
+
+class EcReceiver:
+    """Receiver endpoint of the Erasure Coding protocol."""
+
+    def __init__(
+        self,
+        qp: SdrQp,
+        ctrl: ControlPath,
+        config: EcConfig | None = None,
+        *,
+        rtt: float | None = None,
+    ):
+        self.qp = qp
+        self.sim = qp.sim
+        self.ctrl = ctrl
+        self.config = config if config is not None else EcConfig()
+        self.codec = self.config.make_codec()
+        self.rtt = rtt if rtt is not None else qp.ctx.channel_rtt_hint()
+        self.acks_sent = 0
+        self.nacks_sent = 0
+        self.submessages_decoded = 0
+
+    # -- public API ---------------------------------------------------------------------
+
+    def post_receive(
+        self, mr: MemoryRegion, length: int, mr_offset: int = 0
+    ) -> ReceiveTicket:
+        """Post user buffer + parity scratch; matching order = sender's."""
+        layout = _Layout(
+            length=length,
+            chunk_bytes=self.qp.config.chunk_bytes,
+            k=self.config.k,
+            m=self.config.m,
+        )
+        needed = 2 * layout.nsub
+        if needed > self.qp.config.inflight_messages:
+            raise ConfigError(
+                f"EC receive needs {needed} SDR slots "
+                f"(L={layout.nsub} submessages); configure "
+                f"inflight_messages >= {needed}"
+            )
+        data_handles: list[RecvHandle] = []
+        for i in range(layout.nsub):
+            data_handles.append(
+                self.qp.recv_post(
+                    SdrRecvWr(
+                        mr=mr,
+                        length=layout.sub_bytes(i),
+                        mr_offset=mr_offset + layout.sub_offset(i),
+                    )
+                )
+            )
+        parity_handles: list[RecvHandle] = []
+        for i in range(layout.nsub):
+            scratch = self.qp.ctx.mr_reg(
+                layout.parity_bytes,
+                data=bytearray(layout.parity_bytes) if mr.payload_mode else None,
+                name=f"parity.{i}",
+            )
+            parity_handles.append(
+                self.qp.recv_post(SdrRecvWr(mr=scratch, length=layout.parity_bytes))
+            )
+        ticket = ReceiveTicket(
+            seq=data_handles[0].seq,
+            length=length,
+            done=self.sim.event(),
+            recv_handles=data_handles + parity_handles,
+        )
+        self.sim.process(
+            self._serve(ticket, layout, mr, mr_offset, data_handles, parity_handles)
+        )
+        return ticket
+
+    # -- receive logic -------------------------------------------------------------------
+
+    def _presence(
+        self,
+        layout: _Layout,
+        sub: int,
+        data_handles: list[RecvHandle],
+        parity_handles: list[RecvHandle],
+    ) -> np.ndarray:
+        """Boolean k+m presence vector for submessage ``sub``."""
+        present = np.zeros(layout.k + layout.m, dtype=bool)
+        real = layout.sub_chunks(sub)
+        present[real : layout.k] = True  # zero-padding chunks always "present"
+        present[:real] = data_handles[sub].bitmap().as_array()[:real]
+        present[layout.k :] = parity_handles[sub].bitmap().as_array()[: layout.m]
+        return present
+
+    def _fto(self, layout: _Layout) -> float:
+        """FTO = (M + ceil(M/R)) * T_INJ + beta * RTT."""
+        assert self.qp.data_qps[0][0].channel is not None
+        bw = self.qp.data_qps[0][0].channel.config.bytes_per_second
+        t_inj = layout.chunk_bytes / bw
+        parity_chunks = math.ceil(layout.nchunks / self.config.parity_ratio)
+        return (layout.nchunks + parity_chunks) * t_inj + (
+            self.config.beta_rtts * self.rtt
+        )
+
+    def _serve(self, ticket, layout, mr, mr_offset, data_handles, parity_handles):
+        # Phase 1: wait for the first chunk of the message (arms FTO), with a
+        # global guard in case the entire first transmission is lost.
+        first_chunk = self.sim.any_of(
+            [h.wait_chunk() for h in data_handles + parity_handles]
+        )
+        guard = self._fto(layout) + 2 * self.rtt
+        yield self.sim.any_of([first_chunk, self.sim.timeout(guard)])
+
+        fto_deadline = self.sim.now + self._fto(layout)
+        # Phase 2: wait until recoverable or FTO expiry.
+        while True:
+            pending = [
+                s for s in range(layout.nsub)
+                if not self.codec.recoverable(
+                    self._presence(layout, s, data_handles, parity_handles)
+                )
+            ]
+            if not pending:
+                break
+            if self.sim.now >= fto_deadline:
+                ticket.fell_back_to_sr = True
+                self._send_nack(ticket.seq, layout, pending, data_handles)
+                yield self.sim.timeout(self.config.fallback_interval_rtts * self.rtt)
+                continue
+            remaining = fto_deadline - self.sim.now
+            waits = [
+                data_handles[s].wait_chunk() for s in pending
+            ] + [
+                parity_handles[s].wait_chunk() for s in pending
+            ]
+            yield self.sim.any_of(waits + [self.sim.timeout(remaining)])
+
+        # Phase 3: decode missing chunks in place, complete, ACK.
+        yield from self._decode_all(
+            ticket, layout, mr, mr_offset, data_handles, parity_handles
+        )
+        for h in data_handles + parity_handles:
+            if not h.completed:
+                h.complete()
+        self.ctrl.send(EcAck(msg_seq=ticket.seq))
+        self.acks_sent += 1
+        ticket._finish(self.sim.now)
+        # Grace re-ACKs in case the positive ACK is dropped.
+        grace_end = self.sim.now + self.config.grace_rtts * self.rtt
+        while self.sim.now < grace_end:
+            yield self.sim.timeout(2 * self.rtt)
+            self.ctrl.send(EcAck(msg_seq=ticket.seq))
+            self.acks_sent += 1
+
+    def _send_nack(
+        self,
+        seq: int,
+        layout: _Layout,
+        pending: list[int],
+        data_handles: list[RecvHandle],
+    ) -> None:
+        missing: list[int] = []
+        max_entries = (self.qp.config.mtu_bytes - 32) // 4
+        for s in pending:
+            real = layout.sub_chunks(s)
+            absent = np.flatnonzero(~data_handles[s].bitmap().as_array()[:real])
+            for j in absent:
+                missing.append(layout.chunk_of(s, int(j)))
+                if len(missing) >= max_entries:
+                    break
+            if len(missing) >= max_entries:
+                break
+        self.ctrl.send(
+            EcNack(
+                msg_seq=seq,
+                failed_submessages=tuple(pending),
+                missing_chunks=tuple(missing),
+            )
+        )
+        self.nacks_sent += 1
+
+    def _decode_all(self, ticket, layout, mr, mr_offset, data_handles, parity_handles):
+        """Recover missing data chunks of every incomplete submessage."""
+        for s in range(layout.nsub):
+            real = layout.sub_chunks(s)
+            data_present = data_handles[s].bitmap().as_array()[:real]
+            if data_present.all():
+                continue
+            self.submessages_decoded += 1
+            ticket.decoded_chunks += int((~data_present).sum())
+            sub_bytes = layout.sub_bytes(s)
+            if self.config.decode_bps is not None:
+                yield self.sim.timeout(sub_bytes * 8.0 / self.config.decode_bps)
+            if not mr.payload_mode:
+                continue  # sized mode: timing only
+            chunks: dict[int, np.ndarray] = {}
+            base = mr_offset + layout.sub_offset(s)
+            for j in range(real):
+                if data_present[j]:
+                    off = base + j * layout.chunk_bytes
+                    clen = min(layout.chunk_bytes, sub_bytes - j * layout.chunk_bytes)
+                    buf = np.zeros(layout.chunk_bytes, dtype=np.uint8)
+                    buf[:clen] = np.frombuffer(
+                        mr.data, dtype=np.uint8, count=clen, offset=off
+                    )
+                    chunks[j] = buf
+            for j in range(real, layout.k):
+                chunks[j] = np.zeros(layout.chunk_bytes, dtype=np.uint8)
+            parity_mr = parity_handles[s].mr
+            parity_present = parity_handles[s].bitmap().as_array()[: layout.m]
+            for j in range(layout.m):
+                if parity_present[j]:
+                    chunks[layout.k + j] = np.frombuffer(
+                        parity_mr.data,
+                        dtype=np.uint8,
+                        count=layout.chunk_bytes,
+                        offset=j * layout.chunk_bytes,
+                    )
+            try:
+                decoded = self.codec.decode(chunks)
+            except DecodeFailure as exc:  # pragma: no cover - guarded by caller
+                raise ProtocolError(
+                    f"submessage {s} marked recoverable but decode failed"
+                ) from exc
+            for j in np.flatnonzero(~data_present):
+                j = int(j)
+                off = base + j * layout.chunk_bytes
+                clen = min(layout.chunk_bytes, sub_bytes - j * layout.chunk_bytes)
+                mr.data[off : off + clen] = decoded[j, :clen].tobytes()

@@ -1,0 +1,176 @@
+"""Go-Back-N reliability over the SDR bitmap.
+
+The commodity-NIC baseline scheme, reimplemented as an SDR *user* so it can
+be compared head-to-head with Selective Repeat on identical substrate.  The
+paper chooses SR "since it can be proven theoretically that SR efficiency
+is at least as good as Go-back-N's" (Section 4); this module provides the
+other side of that comparison (see ``benchmarks/test_ablation_sr_vs_gbn``).
+
+Protocol: the sender maintains a window of unacknowledged chunks starting
+at ``snd_una``; the receiver only advances its cumulative ACK (it ignores
+out-of-order chunks *for acknowledgment purposes* -- the SDR bitmap still
+records them, but GBN does not exploit that information).  On RTO the
+sender rewinds and retransmits everything from ``snd_una``, which is
+exactly the bandwidth waste SR avoids.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import ProtocolError
+from repro.reliability.base import ControlPath, ReceiveTicket, WriteTicket
+from repro.reliability.messages import Ack
+from repro.reliability.sr import SrConfig
+from repro.sdr.handles import RecvHandle
+from repro.sdr.qp import SdrQp, SdrRecvWr, SdrSendWr
+from repro.verbs.mr import MemoryRegion
+
+
+class GbnSender:
+    """Sender endpoint of the Go-Back-N protocol."""
+
+    def __init__(
+        self,
+        qp: SdrQp,
+        ctrl: ControlPath,
+        config: SrConfig | None = None,
+        *,
+        window_chunks: int = 256,
+        rtt: float | None = None,
+    ):
+        self.qp = qp
+        self.sim = qp.sim
+        self.ctrl = ctrl
+        self.config = config if config is not None else SrConfig()
+        self.window_chunks = window_chunks
+        self.rtt = rtt if rtt is not None else qp.ctx.channel_rtt_hint()
+        self.rto = self.config.rto_rtts * self.rtt
+        ctrl.on_message(self._on_ctrl)
+        self._tickets: dict[int, WriteTicket] = {}
+        self._una: dict[int, int] = {}
+        self._progress_event: dict[int, object] = {}
+
+    def write(self, length: int, payload: bytes | None = None) -> WriteTicket:
+        hdl = self.qp.send_stream_start(SdrSendWr(length=length, payload=payload))
+        ticket = WriteTicket(
+            seq=hdl.seq, length=length, start_time=self.sim.now,
+            done=self.sim.event(),
+        )
+        self._tickets[hdl.seq] = ticket
+        self._una[hdl.seq] = 0
+        self.sim.process(self._pump(ticket, hdl, length, payload))
+        return ticket
+
+    def _chunk_range(self, index: int, length: int) -> tuple[int, int]:
+        cb = self.qp.config.chunk_bytes
+        off = index * cb
+        return off, min(cb, length - off)
+
+    def _send_chunk(self, hdl, index: int, length: int, payload) -> None:
+        off, clen = self._chunk_range(index, length)
+        piece = None if payload is None else payload[off : off + clen]
+        self.qp.send_stream_continue(hdl, off, clen, piece)
+
+    def _pump(self, ticket: WriteTicket, hdl, length: int, payload):
+        nchunks = self.qp.config.chunks_in(length)
+        seq = ticket.seq
+        next_to_send = 0
+        rounds_without_progress = 0
+        while self._una[seq] < nchunks:
+            una = self._una[seq]
+            # (Re)fill the window from the cumulative point.
+            next_to_send = max(next_to_send, una)
+            while next_to_send < min(una + self.window_chunks, nchunks):
+                self._send_chunk(hdl, next_to_send, length, payload)
+                next_to_send += 1
+            # Wait for cumulative progress or RTO.
+            wake = self.sim.event()
+            self._progress_event[seq] = wake
+            yield self.sim.any_of([wake, self.sim.timeout(self.rto)])
+            if self._una[seq] == una:
+                # RTO: rewind the whole window (the GBN waste).
+                rounds_without_progress += 1
+                if rounds_without_progress > self.config.max_chunk_retransmits:
+                    ticket.failed = True
+                    self._cleanup(seq)
+                    if not ticket.done.triggered:
+                        ticket.done.fail(ProtocolError("GBN retransmit budget"))
+                    return
+                ticket.retransmitted_chunks += min(
+                    self.window_chunks, nchunks - una
+                )
+                next_to_send = una
+                for i in range(una, min(una + self.window_chunks, nchunks)):
+                    self._send_chunk(hdl, i, length, payload)
+                    next_to_send = i + 1
+            else:
+                rounds_without_progress = 0
+        if not hdl.ended:
+            self.qp.send_stream_end(hdl)
+        self._cleanup(seq)
+        ticket._finish(self.sim.now)
+
+    def _cleanup(self, seq: int) -> None:
+        self._tickets.pop(seq, None)
+        self._progress_event.pop(seq, None)
+
+    def _on_ctrl(self, msg) -> None:
+        if not isinstance(msg, Ack):
+            return
+        seq = msg.msg_seq
+        if seq not in self._una or seq not in self._tickets:
+            return
+        if msg.cumulative > self._una[seq]:
+            self._una[seq] = msg.cumulative
+            wake = self._progress_event.get(seq)
+            if wake is not None and not wake.triggered:
+                wake.succeed(None)
+
+
+class GbnReceiver:
+    """Receiver endpoint: cumulative-only acknowledgments."""
+
+    def __init__(
+        self,
+        qp: SdrQp,
+        ctrl: ControlPath,
+        config: SrConfig | None = None,
+        *,
+        rtt: float | None = None,
+    ):
+        self.qp = qp
+        self.sim = qp.sim
+        self.ctrl = ctrl
+        self.config = config if config is not None else SrConfig()
+        self.rtt = rtt if rtt is not None else qp.ctx.channel_rtt_hint()
+        self.acks_sent = 0
+
+    def post_receive(
+        self, mr: MemoryRegion, length: int, mr_offset: int = 0
+    ) -> ReceiveTicket:
+        rh = self.qp.recv_post(SdrRecvWr(mr=mr, length=length, mr_offset=mr_offset))
+        ticket = ReceiveTicket(
+            seq=rh.seq, length=length, done=self.sim.event(), recv_handles=[rh]
+        )
+        self.sim.process(self._serve(ticket, rh))
+        return ticket
+
+    def _serve(self, ticket: ReceiveTicket, rh: RecvHandle):
+        interval = self.config.ack_interval_rtts * self.rtt
+        while not rh.all_chunks_received():
+            yield self.sim.any_of(
+                [self.sim.timeout(interval), rh.wait_all_chunks()]
+            )
+            # Cumulative-only: no selective window (the GBN restriction).
+            self.ctrl.send(Ack(msg_seq=ticket.seq, cumulative=rh.bitmap().cumulative()))
+            self.acks_sent += 1
+        self.ctrl.send(Ack(msg_seq=ticket.seq, cumulative=rh.nchunks))
+        self.acks_sent += 1
+        rh.complete()
+        ticket._finish(self.sim.now)
+        grace_end = self.sim.now + self.config.grace_rtts * self.rtt
+        while self.sim.now < grace_end:
+            yield self.sim.timeout(self.config.rto_rtts * self.rtt)
+            self.ctrl.send(Ack(msg_seq=ticket.seq, cumulative=rh.nchunks))
+            self.acks_sent += 1

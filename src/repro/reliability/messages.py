@@ -1,0 +1,213 @@
+"""Wire formats for reliability-protocol control messages.
+
+All control messages travel as single UD datagrams on the control-path QP
+(Section 4.1: "a control-path UC (or UD) QP to exchange protocol
+acknowledgment packets with low overhead").  Formats are packed with
+:mod:`struct`; every message starts with a one-byte type tag followed by the
+message sequence number it refers to.
+
+The SR ACK implements the paper's two-part encoding:
+
+* *cumulative ACK* -- the highest chunk sequence number for which all
+  previous chunks have been received, and
+* *selective ACK* -- a window of the receiver's chunk bitmap, as much as
+  fits in the ACK payload, starting from the cumulative ACK.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from repro.common.errors import ProtocolError
+
+_TYPE_ACK = 1
+_TYPE_SR_NACK = 2
+_TYPE_EC_ACK = 3
+_TYPE_EC_NACK = 4
+_TYPE_DONE = 5
+_TYPE_PROVISION = 6
+
+_HEADER = struct.Struct("<BI")  # type, msg_seq
+
+
+@dataclass(frozen=True)
+class Ack:
+    """SR acknowledgment: cumulative + selective bitmap window."""
+
+    msg_seq: int
+    cumulative: int
+    window_start: int = 0
+    window: bytes = b""
+
+    _FIXED = struct.Struct("<III")  # cumulative, window_start, window_len
+
+    def pack(self) -> bytes:
+        return (
+            _HEADER.pack(_TYPE_ACK, self.msg_seq)
+            + self._FIXED.pack(self.cumulative, self.window_start, len(self.window))
+            + self.window
+        )
+
+    @classmethod
+    def unpack(cls, msg_seq: int, body: bytes) -> "Ack":
+        cumulative, start, wlen = cls._FIXED.unpack_from(body)
+        window = body[cls._FIXED.size : cls._FIXED.size + wlen]
+        if len(window) != wlen:
+            raise ProtocolError("truncated ACK window")
+        return cls(
+            msg_seq=msg_seq, cumulative=cumulative, window_start=start, window=window
+        )
+
+    def acked_chunks(self, nchunks: int) -> set[int]:
+        """Chunk indices this ACK confirms (cumulative prefix + window bits)."""
+        acked = set(range(min(self.cumulative, nchunks)))
+        for byte_i, byte in enumerate(self.window):
+            if not byte:
+                continue
+            base = self.window_start + byte_i * 8
+            for bit in range(8):
+                if byte >> bit & 1:
+                    idx = base + bit
+                    if idx < nchunks:
+                        acked.add(idx)
+        return acked
+
+
+@dataclass(frozen=True)
+class SrNack:
+    """SR negative acknowledgment: explicit missing-chunk indices."""
+
+    msg_seq: int
+    chunks: tuple[int, ...]
+
+    def pack(self) -> bytes:
+        return (
+            _HEADER.pack(_TYPE_SR_NACK, self.msg_seq)
+            + struct.pack("<I", len(self.chunks))
+            + struct.pack(f"<{len(self.chunks)}I", *self.chunks)
+        )
+
+    @classmethod
+    def unpack(cls, msg_seq: int, body: bytes) -> "SrNack":
+        (n,) = struct.unpack_from("<I", body)
+        chunks = struct.unpack_from(f"<{n}I", body, 4)
+        return cls(msg_seq=msg_seq, chunks=tuple(chunks))
+
+
+@dataclass(frozen=True)
+class EcAck:
+    """EC positive acknowledgment: all data submessages recoverable."""
+
+    msg_seq: int
+
+    def pack(self) -> bytes:
+        return _HEADER.pack(_TYPE_EC_ACK, self.msg_seq)
+
+    @classmethod
+    def unpack(cls, msg_seq: int, body: bytes) -> "EcAck":
+        return cls(msg_seq=msg_seq)
+
+
+@dataclass(frozen=True)
+class EcNack:
+    """EC fallback request: failed submessages + their missing data chunks.
+
+    ``missing_chunks`` are message-global data-chunk indices, so the sender
+    can selectively repeat exactly the lost chunks of the failed
+    submessages.
+    """
+
+    msg_seq: int
+    failed_submessages: tuple[int, ...]
+    missing_chunks: tuple[int, ...]
+
+    def pack(self) -> bytes:
+        return (
+            _HEADER.pack(_TYPE_EC_NACK, self.msg_seq)
+            + struct.pack("<II", len(self.failed_submessages), len(self.missing_chunks))
+            + struct.pack(
+                f"<{len(self.failed_submessages)}I", *self.failed_submessages
+            )
+            + struct.pack(f"<{len(self.missing_chunks)}I", *self.missing_chunks)
+        )
+
+    @classmethod
+    def unpack(cls, msg_seq: int, body: bytes) -> "EcNack":
+        nf, nc = struct.unpack_from("<II", body)
+        off = 8
+        failed = struct.unpack_from(f"<{nf}I", body, off)
+        off += 4 * nf
+        chunks = struct.unpack_from(f"<{nc}I", body, off)
+        return cls(
+            msg_seq=msg_seq,
+            failed_submessages=tuple(failed),
+            missing_chunks=tuple(chunks),
+        )
+
+
+@dataclass(frozen=True)
+class Done:
+    """Final ACK: message fully delivered, sender may release the buffer."""
+
+    msg_seq: int
+
+    def pack(self) -> bytes:
+        return _HEADER.pack(_TYPE_DONE, self.msg_seq)
+
+    @classmethod
+    def unpack(cls, msg_seq: int, body: bytes) -> "Done":
+        return cls(msg_seq=msg_seq)
+
+
+@dataclass(frozen=True)
+class Provision:
+    """Adaptive-layer announcement: message ``msg_seq`` uses ``protocol``.
+
+    Sent by the receiver (which owns ground truth on observed loss) so both
+    endpoints of the adaptive layer run the same scheme per message
+    (Section 2.1's per-connection reliability provisioning).
+    """
+
+    msg_seq: int
+    protocol: str  # "sr" or "ec"
+
+    _CODES = {"sr": 0, "ec": 1}
+    _NAMES = {0: "sr", 1: "ec"}
+
+    def pack(self) -> bytes:
+        try:
+            code = self._CODES[self.protocol]
+        except KeyError:
+            raise ProtocolError(f"unknown protocol {self.protocol!r}") from None
+        return _HEADER.pack(_TYPE_PROVISION, self.msg_seq) + bytes([code])
+
+    @classmethod
+    def unpack(cls, msg_seq: int, body: bytes) -> "Provision":
+        if not body:
+            raise ProtocolError("truncated provision message")
+        name = cls._NAMES.get(body[0])
+        if name is None:
+            raise ProtocolError(f"unknown protocol code {body[0]}")
+        return cls(msg_seq=msg_seq, protocol=name)
+
+
+_DECODERS = {
+    _TYPE_ACK: Ack.unpack,
+    _TYPE_SR_NACK: SrNack.unpack,
+    _TYPE_EC_ACK: EcAck.unpack,
+    _TYPE_EC_NACK: EcNack.unpack,
+    _TYPE_DONE: Done.unpack,
+    _TYPE_PROVISION: Provision.unpack,
+}
+
+
+def decode_message(raw: bytes):
+    """Parse a control datagram into its message dataclass."""
+    if raw is None or len(raw) < _HEADER.size:
+        raise ProtocolError("control datagram too short")
+    mtype, msg_seq = _HEADER.unpack_from(raw)
+    decoder = _DECODERS.get(mtype)
+    if decoder is None:
+        raise ProtocolError(f"unknown control message type {mtype}")
+    return decoder(msg_seq, raw[_HEADER.size :])

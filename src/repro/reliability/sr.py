@@ -1,0 +1,337 @@
+"""Selective Repeat reliability over the SDR bitmap (Section 4.1.1).
+
+Sender side: streaming SDR sends inject message chunks in order, wire-paced;
+each chunk carries a retransmission timeout ``RTO = (1 + alpha) * RTT``
+(the paper's "SR RTO" scenario uses 3 RTTs, i.e. ``alpha = 2``).  Expired
+chunks are re-injected via ``send_stream_continue``.  ACKs remove chunks
+from the retransmission set.
+
+Receiver side: periodically polls the SDR chunk bitmap and ships ACKs that
+encode the bitmap in two parts -- a cumulative ACK plus a selective window.
+With ``nack_enabled`` the receiver additionally reports *gaps* (chunks
+missing while later chunks have arrived) as explicit NACKs, letting the
+sender recover in ~1 RTT instead of an RTO -- the paper's "SR NACK"
+optimization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.config import SdrConfig
+from repro.common.errors import ConfigError, ProtocolError
+from repro.reliability.base import ControlPath, ReceiveTicket, WriteTicket
+from repro.reliability.messages import Ack, SrNack
+from repro.sdr.handles import RecvHandle, SendHandle
+from repro.sdr.qp import SdrQp, SdrRecvWr, SdrSendWr
+from repro.sim.engine import Event
+from repro.verbs.mr import MemoryRegion
+
+
+@dataclass(frozen=True)
+class SrConfig:
+    """Tuning knobs for the Selective Repeat layer."""
+
+    #: RTO in network round-trip times: RTO = rto_rtts * RTT.  The paper's
+    #: "SR RTO" scenario uses 3 (RTT + alpha*RTT with alpha = 2).
+    rto_rtts: float = 3.0
+    #: Enable the receiver-side gap NACK fast path ("SR NACK" scenario).
+    nack_enabled: bool = False
+    #: Receiver bitmap poll / ACK period in RTTs (None -> RTT / 4).
+    ack_interval_rtts: float = 0.25
+    #: Bytes of selective-ACK bitmap window shipped per ACK.
+    ack_window_bytes: int = 512
+    #: How long (in RTTs) the receiver keeps re-ACKing after completion, to
+    #: survive final-ACK drops.
+    grace_rtts: float = 10.0
+    #: Minimum spacing (in RTTs) between NACKs for the same chunk.
+    nack_holdoff_rtts: float = 1.0
+    #: Safety valve: a write fails after this many retransmissions of a
+    #: single chunk (pathological channels only).
+    max_chunk_retransmits: int = 100
+
+    def __post_init__(self) -> None:
+        if self.rto_rtts <= 0:
+            raise ConfigError(f"rto_rtts must be > 0, got {self.rto_rtts}")
+        if self.ack_interval_rtts <= 0:
+            raise ConfigError("ack_interval_rtts must be > 0")
+        if self.ack_window_bytes <= 0:
+            raise ConfigError("ack_window_bytes must be > 0")
+        if self.max_chunk_retransmits <= 0:
+            raise ConfigError("max_chunk_retransmits must be > 0")
+
+
+class _SendState:
+    """Per-message sender bookkeeping."""
+
+    def __init__(self, ticket: WriteTicket, hdl: SendHandle, nchunks: int):
+        self.ticket = ticket
+        self.hdl = hdl
+        self.nchunks = nchunks
+        self.unacked = np.ones(nchunks, dtype=bool)
+        self.deadline = np.full(nchunks, np.inf)
+        self.retransmit_count = np.zeros(nchunks, dtype=np.int64)
+        self.inject_done = False
+
+    @property
+    def complete(self) -> bool:
+        return not self.unacked.any()
+
+
+class SrSender:
+    """Sender endpoint of the Selective Repeat protocol."""
+
+    def __init__(
+        self,
+        qp: SdrQp,
+        ctrl: ControlPath,
+        config: SrConfig | None = None,
+        *,
+        rtt: float | None = None,
+    ):
+        self.qp = qp
+        self.sim = qp.sim
+        self.ctrl = ctrl
+        self.config = config if config is not None else SrConfig()
+        self.rtt = rtt if rtt is not None else qp.ctx.channel_rtt_hint()
+        self.rto = self.config.rto_rtts * self.rtt
+        ctrl.on_message(self._on_ctrl)
+        self._states: dict[int, _SendState] = {}
+        self._timer_wake: Event | None = None
+        self._timer = self.sim.process(self._timer_loop())
+
+    # -- public API -----------------------------------------------------------------
+
+    def write(self, length: int, payload: bytes | None = None) -> WriteTicket:
+        """Reliably write ``length`` bytes to the peer's next posted receive."""
+        sdr: SdrConfig = self.qp.config
+        nchunks = sdr.chunks_in(length)
+        hdl = self.qp.send_stream_start(SdrSendWr(length=length, payload=payload))
+        ticket = WriteTicket(
+            seq=hdl.seq, length=length, start_time=self.sim.now, done=self.sim.event()
+        )
+        state = _SendState(ticket, hdl, nchunks)
+        state._payload = payload  # type: ignore[attr-defined]
+        self._states[hdl.seq] = state
+        self.sim.process(self._inject_all(state, length, payload))
+        return ticket
+
+    # -- injection -------------------------------------------------------------------
+
+    def _chunk_range(self, index: int, length: int) -> tuple[int, int]:
+        cb = self.qp.config.chunk_bytes
+        off = index * cb
+        return off, min(cb, length - off)
+
+    def _send_chunk(self, state: _SendState, index: int) -> None:
+        off, clen = self._chunk_range(index, state.ticket.length)
+        payload = getattr(state, "_payload", None)
+        piece = None if payload is None else payload[off : off + clen]
+        self.qp.send_stream_continue(state.hdl, off, clen, piece)
+
+    def _inject_all(self, state: _SendState, length: int, payload):
+        """Initial wire-paced injection: stamp each chunk's RTO as it leaves."""
+        ppc = self.qp.config.packets_per_chunk
+        for index in range(state.nchunks):
+            self._send_chunk(state, index)
+            # Wait for this chunk's packets to hit the wire before stamping
+            # its timeout -- avoids spurious RTOs when the injection time of
+            # the whole message exceeds the RTO (the t_start(M) > RTO case).
+            target = min(
+                (index + 1) * ppc,
+                state.hdl.packets_posted,
+            )
+            while state.hdl.packets_injected < target:
+                yield self.sim.timeout(self._pacing_quantum())
+            if state.unacked[index]:
+                state.deadline[index] = self.sim.now + self.rto
+                self._kick_timer()
+            if state.complete:
+                break
+        state.inject_done = True
+        self._maybe_finish(state)
+
+    def _pacing_quantum(self) -> float:
+        """Polling quantum for injection progress (one chunk's wire time)."""
+        assert self.qp.data_qps[0][0].channel is not None
+        cfg = self.qp.data_qps[0][0].channel.config
+        return max(self.qp.config.chunk_bytes / cfg.bytes_per_second, 1e-7)
+
+    # -- timers ------------------------------------------------------------------------
+
+    def _kick_timer(self) -> None:
+        if self._timer_wake is not None and not self._timer_wake.triggered:
+            self._timer_wake.succeed(None)
+
+    def _timer_loop(self):
+        while True:
+            deadlines = [
+                float(s.deadline[s.unacked].min())
+                for s in self._states.values()
+                if s.unacked.any() and np.isfinite(s.deadline[s.unacked]).any()
+            ]
+            self._timer_wake = self.sim.event()
+            if not deadlines:
+                yield self._timer_wake
+                continue
+            horizon = min(deadlines)
+            if horizon > self.sim.now:
+                yield self.sim.any_of(
+                    [self.sim.timeout(horizon - self.sim.now), self._timer_wake]
+                )
+            if self.sim.now >= horizon:
+                self._fire_expired()
+
+    def _fire_expired(self) -> None:
+        now = self.sim.now
+        for state in list(self._states.values()):
+            expired = np.flatnonzero(state.unacked & (state.deadline <= now))
+            for index in expired:
+                index = int(index)
+                state.retransmit_count[index] += 1
+                if state.retransmit_count[index] > self.config.max_chunk_retransmits:
+                    self._fail(state, f"chunk {index} exceeded retransmit budget")
+                    break
+                self._send_chunk(state, index)
+                state.deadline[index] = now + self.rto
+                state.ticket.retransmitted_chunks += 1
+
+    def _fail(self, state: _SendState, reason: str) -> None:
+        state.ticket.failed = True
+        self._states.pop(state.ticket.seq, None)
+        if not state.ticket.done.triggered:
+            state.ticket.done.fail(ProtocolError(reason))
+
+    # -- control-path handling ----------------------------------------------------------
+
+    def _on_ctrl(self, msg) -> None:
+        if isinstance(msg, Ack):
+            state = self._states.get(msg.msg_seq)
+            if state is None:
+                return
+            for index in msg.acked_chunks(state.nchunks):
+                if state.unacked[index]:
+                    state.unacked[index] = False
+                    state.deadline[index] = np.inf
+            self._maybe_finish(state)
+        elif isinstance(msg, SrNack):
+            state = self._states.get(msg.msg_seq)
+            if state is None:
+                return
+            state.ticket.nacks_received += 1
+            now = self.sim.now
+            holdoff = self.config.nack_holdoff_rtts * self.rtt
+            for index in msg.chunks:
+                if index < state.nchunks and state.unacked[index]:
+                    # Avoid double-firing with a recent RTO retransmission.
+                    if state.deadline[index] - self.rto > now - holdoff:
+                        continue
+                    self._send_chunk(state, int(index))
+                    state.deadline[index] = now + self.rto
+                    state.ticket.retransmitted_chunks += 1
+
+    def _maybe_finish(self, state: _SendState) -> None:
+        if state.complete and not state.ticket.failed:
+            if not state.hdl.ended:
+                self.qp.send_stream_end(state.hdl)
+            self._states.pop(state.ticket.seq, None)
+            state.ticket._finish(self.sim.now)
+            self._kick_timer()
+
+
+class SrReceiver:
+    """Receiver endpoint of the Selective Repeat protocol."""
+
+    def __init__(
+        self,
+        qp: SdrQp,
+        ctrl: ControlPath,
+        config: SrConfig | None = None,
+        *,
+        rtt: float | None = None,
+    ):
+        self.qp = qp
+        self.sim = qp.sim
+        self.ctrl = ctrl
+        self.config = config if config is not None else SrConfig()
+        self.rtt = rtt if rtt is not None else qp.ctx.channel_rtt_hint()
+        self.acks_sent = 0
+        self.nacks_sent = 0
+
+    def post_receive(
+        self, mr: MemoryRegion, length: int, mr_offset: int = 0
+    ) -> ReceiveTicket:
+        """Post a receive buffer; ACK generation runs until completion."""
+        rh = self.qp.recv_post(SdrRecvWr(mr=mr, length=length, mr_offset=mr_offset))
+        ticket = ReceiveTicket(
+            seq=rh.seq, length=length, done=self.sim.event(), recv_handles=[rh]
+        )
+        self.sim.process(self._serve(ticket, rh))
+        return ticket
+
+    def _serve(self, ticket: ReceiveTicket, rh: RecvHandle):
+        interval = self.config.ack_interval_rtts * self.rtt
+        last_nack = np.full(rh.nchunks, -np.inf)
+        while not rh.all_chunks_received():
+            yield self.sim.any_of(
+                [self.sim.timeout(interval), rh.wait_all_chunks()]
+            )
+            self._send_ack(ticket.seq, rh)
+            if self.config.nack_enabled and not rh.all_chunks_received():
+                self._send_gap_nacks(ticket.seq, rh, last_nack)
+        # Complete: free SDR resources (arming late-packet protection), then
+        # keep re-ACKing briefly in case the final ACK is lost.
+        self._send_ack(ticket.seq, rh, final=True)
+        rh.complete()
+        ticket._finish(self.sim.now)
+        grace_end = self.sim.now + self.config.grace_rtts * self.rtt
+        while self.sim.now < grace_end:
+            yield self.sim.timeout(self.config.rto_rtts * self.rtt)
+            self._send_final_ack(ticket.seq, rh.nchunks)
+
+    def _send_ack(self, seq: int, rh: RecvHandle, *, final: bool = False) -> None:
+        bitmap = rh.bitmap()
+        cumulative = bitmap.cumulative()
+        window_start = (cumulative // 8) * 8
+        window = b""
+        if not final and cumulative < rh.nchunks:
+            window = bitmap.to_bytes(
+                start_bit=cumulative, max_bytes=self.config.ack_window_bytes
+            )
+        self.ctrl.send(
+            Ack(
+                msg_seq=seq,
+                cumulative=cumulative,
+                window_start=window_start,
+                window=window,
+            )
+        )
+        self.acks_sent += 1
+
+    def _send_final_ack(self, seq: int, nchunks: int) -> None:
+        self.ctrl.send(Ack(msg_seq=seq, cumulative=nchunks))
+        self.acks_sent += 1
+
+    def _send_gap_nacks(
+        self, seq: int, rh: RecvHandle, last_nack: np.ndarray
+    ) -> None:
+        present = rh.bitmap().as_array()
+        set_idx = np.flatnonzero(present)
+        if set_idx.size == 0:
+            return
+        highest = int(set_idx[-1])
+        now = self.sim.now
+        holdoff = self.config.nack_holdoff_rtts * self.rtt
+        gaps = np.flatnonzero(
+            ~present[:highest] & (now - last_nack[:highest] > holdoff)
+        )
+        if gaps.size == 0:
+            return
+        # Cap the NACK list to what fits a single control datagram.
+        max_entries = (self.qp.config.mtu_bytes - 16) // 4
+        gaps = gaps[:max_entries]
+        last_nack[gaps] = now
+        self.ctrl.send(SrNack(msg_seq=seq, chunks=tuple(int(g) for g in gaps)))
+        self.nacks_sent += 1

@@ -1,0 +1,43 @@
+"""The SDR middleware SDK (Table 1 of the paper).
+
+The public surface mirrors the paper's C API:
+
+==============================  ==============================================
+Paper call                      Python equivalent
+==============================  ==============================================
+``context_create``              :func:`context_create` / :class:`SdrContext`
+``qp_create``                   :meth:`SdrContext.qp_create`
+``qp_info_get``                 :meth:`SdrQp.info_get`
+``qp_connect``                  :meth:`SdrQp.connect`
+``mr_reg``                      :meth:`SdrContext.mr_reg`
+``send_stream_start``           :meth:`SdrQp.send_stream_start`
+``send_stream_continue``        :meth:`SdrQp.send_stream_continue`
+``send_stream_end``             :meth:`SdrQp.send_stream_end`
+``send_post``                   :meth:`SdrQp.send_post`
+``send_poll``                   :meth:`SendHandle.poll`
+``recv_post``                   :meth:`SdrQp.recv_post`
+``recv_bitmap_get``             :meth:`RecvHandle.bitmap`
+``recv_imm_get``                :meth:`RecvHandle.imm_get`
+``recv_complete``               :meth:`RecvHandle.complete`
+==============================  ==============================================
+
+The key semantic extension over plain Verbs is *partial message completion*:
+``recv_post`` returns a handle whose chunk :class:`~repro.common.Bitmap`
+fills in as packets land, so a reliability layer can observe which chunks of
+an unreliable Write arrived and act on the rest.
+"""
+
+from repro.sdr.context import SdrContext, context_create
+from repro.sdr.handles import RecvHandle, SendHandle
+from repro.sdr.imm import ImmLayout
+from repro.sdr.qp import SdrQp, SdrQpInfo
+
+__all__ = [
+    "ImmLayout",
+    "RecvHandle",
+    "SdrContext",
+    "SdrQp",
+    "SdrQpInfo",
+    "SendHandle",
+    "context_create",
+]

@@ -1,0 +1,216 @@
+"""Send and receive handles returned by the SDR API.
+
+A :class:`SendHandle` tracks injection progress of a one-shot or streaming
+send; ``poll`` mirrors the paper's ``send_poll``.  A :class:`RecvHandle`
+owns the receive-side state of one posted message: the user buffer binding,
+the backend per-packet bitmap, the frontend chunk bitmap the application
+polls, user-immediate reconstruction, and completion.
+
+Handles are created by :class:`repro.sdr.qp.SdrQp`; applications never
+construct them directly.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.common.bitmap import Bitmap
+from repro.common.errors import SdrStateError
+from repro.sdr.imm import ImmLayout, UserImmAssembler
+from repro.sim.engine import Event, Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sdr.qp import SdrQp
+    from repro.verbs.mr import MemoryRegion
+
+
+class SendHandle:
+    """Progress tracker for one SDR send message (one-shot or streaming)."""
+
+    def __init__(self, qp: "SdrQp", seq: int, msg_id: int, generation: int):
+        self.qp = qp
+        self.sim: Simulator = qp.sim
+        self.seq = seq
+        self.msg_id = msg_id
+        self.generation = generation
+        self.packets_posted = 0
+        self.packets_injected = 0
+        self.bytes_posted = 0
+        self.ended = False  # one-shot sends end implicitly
+        self.cts_event: Event = qp.sim.event()
+        self._done_event: Event | None = None
+
+    # -- API ---------------------------------------------------------------------
+
+    def poll(self) -> bool:
+        """``send_poll``: True when every posted packet has been injected.
+
+        For streaming sends, completion additionally requires
+        ``send_stream_end`` to have been called.
+        """
+        return self.ended and self.packets_injected >= self.packets_posted
+
+    def done(self) -> Event:
+        """Event that fires when :meth:`poll` would return True."""
+        if self._done_event is None:
+            self._done_event = self.sim.event()
+            if self.poll():
+                self._done_event.succeed(self)
+        return self._done_event
+
+    # -- backend -----------------------------------------------------------------
+
+    def _on_packet_injected(self) -> None:
+        self.packets_injected += 1
+        if (
+            self._done_event is not None
+            and not self._done_event.triggered
+            and self.poll()
+        ):
+            self._done_event.succeed(self)
+
+    def _on_end(self) -> None:
+        self.ended = True
+        if (
+            self._done_event is not None
+            and not self._done_event.triggered
+            and self.poll()
+        ):
+            self._done_event.succeed(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"SendHandle(seq={self.seq}, injected={self.packets_injected}/"
+            f"{self.packets_posted}, ended={self.ended})"
+        )
+
+
+class RecvHandle:
+    """Receive-side state of one posted SDR message."""
+
+    def __init__(
+        self,
+        qp: "SdrQp",
+        *,
+        seq: int,
+        msg_id: int,
+        generation: int,
+        mr: "MemoryRegion",
+        mr_offset: int,
+        length: int,
+        npackets: int,
+        nchunks: int,
+        packets_per_chunk: int,
+        layout: ImmLayout,
+    ):
+        self.qp = qp
+        self.sim: Simulator = qp.sim
+        self.seq = seq
+        self.msg_id = msg_id
+        self.generation = generation
+        self.mr = mr
+        self.mr_offset = mr_offset
+        self.length = length
+        self.npackets = npackets
+        self.nchunks = nchunks
+        self.packets_per_chunk = packets_per_chunk
+        # Backend (DPA-side) per-packet bitmap.
+        self.packet_bitmap = Bitmap(npackets)
+        # Frontend (host-side) chunk bitmap -- what the reliability layer polls.
+        self.chunk_bitmap = Bitmap(nchunks)
+        # Per-chunk fill counters for O(1) chunk-close detection.
+        self._chunk_fill = np.zeros(nchunks, dtype=np.int64)
+        self._chunk_goal = np.full(nchunks, packets_per_chunk, dtype=np.int64)
+        tail = npackets - (nchunks - 1) * packets_per_chunk
+        self._chunk_goal[-1] = tail
+        self._imm = UserImmAssembler(layout)
+        self.completed = False
+        self.late_packets_filtered = 0
+        #: Packets received more than once (retransmissions of chunks that
+        #: had already landed) -- a receiver-side loss/retransmission signal
+        #: used by the adaptive provisioning layer.
+        self.duplicate_packets = 0
+        self._chunk_waiters: list[Event] = []
+        self._all_event: Event | None = None
+
+    # -- API ---------------------------------------------------------------------
+
+    def bitmap(self) -> Bitmap:
+        """``recv_bitmap_get``: the frontend chunk bitmap (live view)."""
+        return self.chunk_bitmap
+
+    def imm_get(self) -> int | None:
+        """``recv_imm_get``: the user immediate, or None if not yet ready."""
+        return self._imm.value() if self._imm.ready else None
+
+    def complete(self) -> None:
+        """``recv_complete``: mark done, free the slot, arm late protection."""
+        if self.completed:
+            raise SdrStateError(f"receive (seq={self.seq}) already completed")
+        self.completed = True
+        self.qp._on_recv_complete(self)
+
+    def all_chunks_received(self) -> bool:
+        return self.chunk_bitmap.all_set()
+
+    def wait_chunk(self) -> Event:
+        """Event firing on the *next* chunk-bitmap update.
+
+        Never fires retroactively: if the message is already complete and no
+        further chunks will arrive, the event stays pending (combine with a
+        timeout via ``Simulator.any_of`` when polling).
+        """
+        ev = self.sim.event()
+        self._chunk_waiters.append(ev)
+        return ev
+
+    def wait_all_chunks(self) -> Event:
+        """Event firing when the whole message has been received."""
+        if self._all_event is None:
+            self._all_event = self.sim.event()
+            if self.all_chunks_received():
+                self._all_event.succeed(self)
+        return self._all_event
+
+    # -- backend (called from the DPA worker path) ---------------------------------
+
+    def _on_packet(self, packet_index: int, fragment: int) -> bool:
+        """Record packet arrival in the backend bitmap.
+
+        Returns True when this packet closes its chunk (the caller then pays
+        the PCIe cost and schedules the host-visible chunk update).
+        """
+        if packet_index >= self.npackets:
+            self.late_packets_filtered += 1
+            return False
+        if not self.packet_bitmap.set(packet_index):
+            self.duplicate_packets += 1
+            return False  # duplicate (e.g. spurious retransmission)
+        self._imm.feed(packet_index, fragment)
+        chunk = packet_index // self.packets_per_chunk
+        self._chunk_fill[chunk] += 1
+        return bool(self._chunk_fill[chunk] == self._chunk_goal[chunk])
+
+    def _publish_chunk(self, chunk_index: int) -> None:
+        """Host-visible chunk-bitmap update (runs after the PCIe delay)."""
+        if self.completed:
+            return
+        self.chunk_bitmap.set(chunk_index)
+        waiters, self._chunk_waiters = self._chunk_waiters, []
+        for ev in waiters:
+            if not ev.triggered:
+                ev.succeed(self)
+        if (
+            self._all_event is not None
+            and not self._all_event.triggered
+            and self.chunk_bitmap.all_set()
+        ):
+            self._all_event.succeed(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"RecvHandle(seq={self.seq}, chunks={self.chunk_bitmap.count()}/"
+            f"{self.nchunks}, completed={self.completed})"
+        )

@@ -1,0 +1,503 @@
+"""The SDR queue pair: generations x channels of UC QPs plus message tables.
+
+An :class:`SdrQp` bundles (Sections 3.2-3.4 of the paper):
+
+* ``generations x channels`` internal UC QPs.  The *channel* dimension
+  extracts endpoint parallelism (each channel has its own receive CQ served
+  by a DPA worker); the *generation* dimension implements late-packet
+  protection across message-ID wraparound.
+* A zero-based **indirect memory key table** with one slot per message ID;
+  message ``i`` targets root offsets ``[i*M, i*M + M)``.  ``recv_post`` binds
+  slot ``i`` to the user buffer, ``recv_complete`` points it back at the
+  NULL mkey so late packets are discarded in hardware.
+* A control UD QP carrying clear-to-send (CTS) notifications: order-based
+  matching requires the receive to be posted before the matching send
+  starts injecting.
+* Send/receive message tables tracked by :class:`~repro.sdr.handles.SendHandle`
+  and :class:`~repro.sdr.handles.RecvHandle`.
+
+Both endpoints derive ``(msg_id, generation)`` for the *k*-th posted message
+as ``msg_id = k mod 2^msg_id_bits`` and
+``generation = (k div 2^msg_id_bits) mod generations``; order-based matching
+keeps the two sides in lockstep without exchanging per-message metadata.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.common.config import SdrConfig
+from repro.common.errors import ConfigError, ResourceError, SdrStateError
+from repro.sdr.handles import RecvHandle, SendHandle
+from repro.sdr.imm import ImmLayout
+from repro.verbs.cq import CompletionQueue, Cqe
+from repro.verbs.mr import IndirectMkeyTable, MemoryRegion
+from repro.verbs.qp import QpInfo, SendWr, UcQp, UdQp
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sdr.context import SdrContext
+
+#: Wire size of a CTS control datagram.
+CTS_BYTES = 64
+
+
+@dataclass
+class SdrSendWr:
+    """Work request for ``send_post`` / ``send_stream_start``."""
+
+    length: int
+    payload: bytes | None = None
+    user_imm: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.length <= 0:
+            raise ConfigError(f"send length must be > 0, got {self.length}")
+        if self.payload is not None and len(self.payload) != self.length:
+            raise ConfigError(
+                f"payload length {len(self.payload)} != declared {self.length}"
+            )
+        if self.user_imm is not None and not 0 <= self.user_imm < 2**32:
+            raise ConfigError(f"user immediate must fit 32 bits")
+
+
+@dataclass
+class SdrRecvWr:
+    """Work request for ``recv_post``."""
+
+    mr: MemoryRegion
+    length: int
+    mr_offset: int = 0
+
+    def __post_init__(self) -> None:
+        if self.length <= 0:
+            raise ConfigError(f"recv length must be > 0, got {self.length}")
+        if self.mr_offset < 0 or self.mr_offset + self.length > self.mr.length:
+            raise ConfigError(
+                f"recv range [{self.mr_offset}, {self.mr_offset + self.length}) "
+                f"exceeds MR of {self.mr.length} B"
+            )
+
+
+@dataclass
+class SdrQpInfo:
+    """Out-of-band blob exchanged between peers (``qp_info_get``)."""
+
+    device: str
+    mtu: int
+    ctrl_qpn: int
+    data_qpns: list[list[int]]  # [generation][channel]
+    root_rkey: int
+    chunk_bytes: int
+    max_message_bytes: int
+    generations: int
+    channels: int
+
+
+class SdrQp:
+    """One SDR queue pair (see module docstring)."""
+
+    def __init__(self, ctx: "SdrContext", config: SdrConfig):
+        self.ctx = ctx
+        self.sim = ctx.sim
+        self.config = config
+        self.layout = ImmLayout.from_config(config)
+        dev = ctx.device
+
+        # Receive CQs: one per channel, shared across generations, each
+        # attached to a DPA worker (Section 3.4.1).
+        self.recv_cqs = [
+            CompletionQueue(self.sim, name=f"{dev.name}.sdr.rcq{c}")
+            for c in range(config.channels)
+        ]
+        for cq in self.recv_cqs:
+            ctx.dpa.attach(cq, self._process_data_cqe)
+
+        # Send CQ: host-polled (send-side offloading is modeled as free;
+        # the receive side dominates the datapath per Section 3.4).
+        self.send_cq = CompletionQueue(self.sim, name=f"{dev.name}.sdr.scq")
+        self.send_cq.attach(self._drain_send_cq)
+
+        # Internal data QPs, [generation][channel].
+        self.data_qps: list[list[UcQp]] = [
+            [
+                UcQp(
+                    dev,
+                    send_cq=self.send_cq,
+                    recv_cq=self.recv_cqs[c],
+                    generation=g,
+                )
+                for c in range(config.channels)
+            ]
+            for g in range(config.generations)
+        ]
+
+        # Control UD QP for CTS (and available to reliability layers).
+        self.ctrl_cq = CompletionQueue(self.sim, name=f"{dev.name}.sdr.ctrl")
+        self.ctrl_qp = UdQp(dev, send_cq=self.ctrl_cq, recv_cq=self.ctrl_cq)
+        self.ctrl_qp.attach_recv_handler(self._on_ctrl)
+
+        # Root indirect mkey table: one slot per message ID (Figure 5).
+        self.root_table = IndirectMkeyTable(
+            num_slots=config.max_message_ids, slot_bytes=config.max_message_bytes
+        )
+        dev.reg_mr(self.root_table)
+
+        # Message tables.
+        self._send_seq = 0
+        self._recv_seq = 0
+        self._send_handles: dict[int, SendHandle] = {}
+        self._recv_table: dict[int, RecvHandle] = {}
+        self._cts_high = -1  # highest receiver seq we may send to
+        self._cts_waiters: list[SendHandle] = []
+
+        self.connected = False
+        self._remote: SdrQpInfo | None = None
+        self._cts_idle_wake = None
+        #: Refreshes remaining before the CTS announcer goes idle; reset on
+        #: every recv_post.  Bounds event-heap growth while still repairing
+        #: dropped CTS datagrams on lossy control paths.
+        self._cts_refresh_budget = 0
+
+        # Telemetry.
+        self.late_cqes_filtered = 0
+        self.messages_sent = 0
+        self.messages_received = 0
+        self._cts_refresher = None
+
+    # ------------------------------------------------------------------ wiring
+
+    def info_get(self) -> SdrQpInfo:
+        """Serializable connection info for the out-of-band exchange."""
+        return SdrQpInfo(
+            device=self.ctx.device.name,
+            mtu=self.config.mtu_bytes,
+            ctrl_qpn=self.ctrl_qp.qpn,
+            data_qpns=[[qp.qpn for qp in row] for row in self.data_qps],
+            root_rkey=self.root_table.rkey,
+            chunk_bytes=self.config.chunk_bytes,
+            max_message_bytes=self.config.max_message_bytes,
+            generations=self.config.generations,
+            channels=self.config.channels,
+        )
+
+    def connect(self, remote: SdrQpInfo) -> None:
+        """``qp_connect``: wire all internal QPs to the remote SdrQp."""
+        if self.connected:
+            raise SdrStateError("SDR QP already connected")
+        for name, mine, theirs in (
+            ("chunk size", self.config.chunk_bytes, remote.chunk_bytes),
+            ("max message", self.config.max_message_bytes, remote.max_message_bytes),
+            ("generations", self.config.generations, remote.generations),
+            ("channels", self.config.channels, remote.channels),
+            ("MTU", self.config.mtu_bytes, remote.mtu),
+        ):
+            if mine != theirs:
+                raise ConfigError(
+                    f"SDR {name} mismatch: local {mine} vs remote {theirs}"
+                )
+        self.ctrl_qp.connect(
+            QpInfo(device=remote.device, qpn=remote.ctrl_qpn, mtu=remote.mtu)
+        )
+        for g in range(self.config.generations):
+            for c in range(self.config.channels):
+                self.data_qps[g][c].connect(
+                    QpInfo(
+                        device=remote.device,
+                        qpn=remote.data_qpns[g][c],
+                        mtu=remote.mtu,
+                    )
+                )
+        self._remote = remote
+        self.connected = True
+        self._cts_refresher = self.sim.process(self._cts_refresh_loop())
+
+    # ------------------------------------------------------------------ helpers
+
+    def _slot_of(self, seq: int) -> tuple[int, int]:
+        """Map a post-order sequence number to (msg_id, generation)."""
+        msg_id = seq % self.config.max_message_ids
+        generation = (seq // self.config.max_message_ids) % self.config.generations
+        return msg_id, generation
+
+    def _npackets(self, length: int) -> int:
+        return -(-length // self.config.mtu_bytes)
+
+    def _nchunks(self, length: int) -> int:
+        return -(-length // self.config.chunk_bytes)
+
+    # ------------------------------------------------------------------ send path
+
+    def send_post(self, wr: SdrSendWr) -> SendHandle:
+        """``send_post``: one-shot send of a contiguous message."""
+        hdl = self._new_send_handle(wr)
+        npackets = self._npackets(wr.length)
+        hdl.packets_posted = npackets
+        hdl.bytes_posted = wr.length
+        self.sim.process(self._one_shot(hdl, wr, npackets))
+        return hdl
+
+    def send_stream_start(self, wr: SdrSendWr) -> SendHandle:
+        """``send_stream_start``: open a streaming send context.
+
+        ``wr.length`` declares the size of the remote buffer (the matched
+        receive); chunks are added with :meth:`send_stream_continue`.
+        """
+        hdl = self._new_send_handle(wr)
+        hdl._stream_length = wr.length  # type: ignore[attr-defined]
+        hdl._stream_user_imm = wr.user_imm  # type: ignore[attr-defined]
+        return hdl
+
+    def send_stream_continue(
+        self, hdl: SendHandle, offset: int, length: int, payload: bytes | None = None
+    ) -> None:
+        """``send_stream_continue``: inject chunk(s) at ``offset``.
+
+        ``offset`` must be MTU-aligned (chunks are multiples of the MTU);
+        re-sending a previously sent range is legal and is how SR implements
+        retransmission.
+        """
+        if hdl.ended:
+            raise SdrStateError("stream already ended")
+        stream_length = getattr(hdl, "_stream_length", None)
+        if stream_length is None:
+            raise SdrStateError("handle is not a streaming send")
+        mtu = self.config.mtu_bytes
+        if offset % mtu != 0:
+            raise ConfigError(f"stream offset {offset} not MTU-aligned")
+        if length <= 0 or offset + length > stream_length:
+            raise ConfigError(
+                f"range [{offset}, {offset + length}) outside stream of "
+                f"{stream_length} B"
+            )
+        if payload is not None and len(payload) != length:
+            raise ConfigError("payload length mismatch")
+        npackets = self._npackets(length)
+        hdl.packets_posted += npackets
+        hdl.bytes_posted += length
+        user_imm = getattr(hdl, "_stream_user_imm", None)
+        self.sim.process(
+            self._inject_range(hdl, offset, length, payload, user_imm)
+        )
+
+    def send_stream_end(self, hdl: SendHandle) -> None:
+        """``send_stream_end``: no further chunks will be added."""
+        if hdl.ended:
+            raise SdrStateError("stream already ended")
+        hdl._on_end()
+
+    def _new_send_handle(self, wr: SdrSendWr) -> SendHandle:
+        self._require_connected()
+        if wr.length > self.config.max_message_bytes:
+            raise ConfigError(
+                f"message of {wr.length} B exceeds max message size "
+                f"{self.config.max_message_bytes} B"
+            )
+        if (
+            wr.user_imm is not None
+            and self._npackets(wr.length) < self.layout.user_fragments
+        ):
+            raise ConfigError(
+                "user immediate needs at least "
+                f"{self.layout.user_fragments} packets "
+                f"({self.layout.user_imm_bits}-bit fragments); message has "
+                f"{self._npackets(wr.length)}"
+            )
+        seq = self._send_seq
+        self._send_seq += 1
+        msg_id, generation = self._slot_of(seq)
+        hdl = SendHandle(self, seq, msg_id, generation)
+        self._send_handles[seq] = hdl
+        if seq <= self._cts_high:
+            hdl.cts_event.succeed(None)
+        else:
+            self._cts_waiters.append(hdl)
+        self.messages_sent += 1
+        return hdl
+
+    def _one_shot(self, hdl: SendHandle, wr: SdrSendWr, npackets: int):
+        yield from self._inject_range(hdl, 0, wr.length, wr.payload, wr.user_imm)
+        hdl._on_end()
+
+    def _inject_range(
+        self,
+        hdl: SendHandle,
+        offset: int,
+        length: int,
+        payload: bytes | None,
+        user_imm: int | None,
+    ):
+        """Issue one WRITE_ONLY_IMM per MTU packet in the byte range."""
+        if not hdl.cts_event.triggered:
+            yield hdl.cts_event
+        assert self._remote is not None
+        mtu = self.config.mtu_bytes
+        base = hdl.msg_id * self.config.max_message_bytes
+        qps = self.data_qps[hdl.generation]
+        nch = len(qps)
+        sent = 0
+        while sent < length:
+            byte_off = offset + sent
+            flen = min(mtu, length - sent)
+            pkt_idx = byte_off // mtu
+            frag = (
+                self.layout.user_fragment_of(user_imm, pkt_idx)
+                if user_imm is not None
+                else 0
+            )
+            imm = self.layout.encode(hdl.msg_id, pkt_idx, frag)
+            frag_payload = None if payload is None else payload[sent : sent + flen]
+            qps[pkt_idx % nch].post_send(
+                SendWr(
+                    length=flen,
+                    rkey=self._remote.root_rkey,
+                    remote_offset=base + byte_off,
+                    payload=frag_payload,
+                    immediate=imm,
+                    wr_id=hdl.seq,
+                )
+            )
+            sent += flen
+        # Injection completions arrive on the send CQ; nothing to await here.
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    def _drain_send_cq(self, cq: CompletionQueue) -> None:
+        for cqe in cq.poll(max_entries=len(cq)):
+            hdl = self._send_handles.get(cqe.wr_id)
+            if hdl is None:
+                continue
+            hdl._on_packet_injected()
+            if hdl.poll():
+                del self._send_handles[hdl.seq]
+
+    # ------------------------------------------------------------------ recv path
+
+    def recv_post(self, wr: SdrRecvWr) -> RecvHandle:
+        """``recv_post``: post a receive buffer and send clear-to-send."""
+        self._require_connected()
+        if wr.length > self.config.max_message_bytes:
+            raise ConfigError(
+                f"receive of {wr.length} B exceeds max message size "
+                f"{self.config.max_message_bytes} B"
+            )
+        if len(self._recv_table) >= self.config.inflight_messages:
+            raise ResourceError(
+                f"receive table full ({self.config.inflight_messages} in flight)"
+            )
+        seq = self._recv_seq
+        self._recv_seq += 1
+        msg_id, generation = self._slot_of(seq)
+        if msg_id in self._recv_table:
+            raise ResourceError(
+                f"message ID {msg_id} wrapped around while still in flight"
+            )
+        npackets = self._npackets(wr.length)
+        nchunks = self._nchunks(wr.length)
+        hdl = RecvHandle(
+            self,
+            seq=seq,
+            msg_id=msg_id,
+            generation=generation,
+            mr=wr.mr,
+            mr_offset=wr.mr_offset,
+            length=wr.length,
+            npackets=npackets,
+            nchunks=nchunks,
+            packets_per_chunk=self.config.packets_per_chunk,
+            layout=self.layout,
+        )
+        self._recv_table[msg_id] = hdl
+        self.root_table.bind(msg_id, wr.mr, wr.mr_offset)
+        self._cts_refresh_budget = 50
+        if self._cts_idle_wake is not None and not self._cts_idle_wake.triggered:
+            self._cts_idle_wake.succeed(None)
+        # Slot reallocation (mkey update + bitmap cleanup) costs host time
+        # before the CTS goes out -- the Section 5.4.1 small-message overhead.
+        self.sim.call_in(
+            self.ctx.dpa_config.repost_seconds, lambda: self._send_cts()
+        )
+        self.messages_received += 1
+        return hdl
+
+    def _send_cts(self) -> None:
+        """Announce the highest posted receive seq (cumulative CTS)."""
+        if not self.connected:
+            return
+        high = self._recv_seq - 1
+        if high < 0:
+            return
+        self.ctrl_qp.post_send(
+            SendWr(length=CTS_BYTES, immediate=high % (1 << 32), signaled=False)
+        )
+
+    def _cts_refresh_loop(self):
+        """Re-announce CTS periodically: repairs CTS drops on lossy paths.
+
+        Sleeps on an event while no receives are outstanding so an idle QP
+        leaves the simulator's event heap empty (``sim.run()`` can drain).
+        """
+        interval = max(self.ctx.channel_rtt_hint(), 1e-3)
+        while True:
+            if not self._recv_table or self._cts_refresh_budget <= 0:
+                self._cts_idle_wake = self.sim.event()
+                yield self._cts_idle_wake
+                continue
+            yield self.sim.timeout(interval)
+            if self._recv_table and self._cts_refresh_budget > 0:
+                self._cts_refresh_budget -= 1
+                self._send_cts()
+
+    def _on_ctrl(self, payload, immediate, src_qpn) -> None:
+        if immediate is None:
+            return
+        high = int(immediate)
+        if high > self._cts_high:
+            self._cts_high = high
+            ready = [h for h in self._cts_waiters if h.seq <= high]
+            self._cts_waiters = [h for h in self._cts_waiters if h.seq > high]
+            for hdl in ready:
+                if not hdl.cts_event.triggered:
+                    hdl.cts_event.succeed(None)
+
+    def _validate_data_cqe(self, cqe: Cqe) -> tuple[RecvHandle, int, int] | None:
+        """Decode + generation-check a data CQE; None if it must be dropped."""
+        if cqe.immediate is None:
+            return None
+        msg_id, pkt_idx, frag = self.layout.decode(cqe.immediate)
+        hdl = self._recv_table.get(msg_id)
+        if hdl is None or hdl.generation != cqe.generation or hdl.completed:
+            # Stage-two late-packet filtering (stage one already discarded
+            # the payload via the NULL mkey).
+            self.late_cqes_filtered += 1
+            return None
+        return hdl, pkt_idx, frag
+
+    def _record_packet(self, hdl: RecvHandle, pkt_idx: int, frag: int) -> bool:
+        """Apply a validated packet to the bitmaps; publish chunk if closed."""
+        closes = hdl._on_packet(pkt_idx, frag)
+        if closes:
+            chunk = pkt_idx // hdl.packets_per_chunk
+            delay = self.ctx.dpa_config.pcie_update_seconds
+            if delay > 0:
+                self.sim.call_in(delay, lambda: hdl._publish_chunk(chunk))
+            else:
+                hdl._publish_chunk(chunk)
+        return closes
+
+    def _process_data_cqe(self, cqe: Cqe) -> bool:
+        """DPA worker handler: generation check + bitmap update (S3.4.2)."""
+        validated = self._validate_data_cqe(cqe)
+        if validated is None:
+            return False
+        hdl, pkt_idx, frag = validated
+        return self._record_packet(hdl, pkt_idx, frag)
+
+    def _on_recv_complete(self, hdl: RecvHandle) -> None:
+        """Stage-one late protection: point the slot at the NULL mkey."""
+        self.root_table.invalidate(hdl.msg_id)
+        self._recv_table.pop(hdl.msg_id, None)
+
+    def _require_connected(self) -> None:
+        if not self.connected:
+            raise SdrStateError("SDR QP is not connected")

@@ -1,0 +1,19 @@
+"""Discrete-event simulation kernel.
+
+A deliberately small, dependency-free DES engine in the style of SimPy:
+
+* :class:`Simulator` owns the event heap and the simulated clock.
+* :class:`Event` is a one-shot future; :meth:`Simulator.timeout` creates an
+  event that fires after a simulated delay.
+* :class:`Process` wraps a generator that ``yield``\\ s events; processes are
+  how QPs, DPA workers and reliability protocols express concurrency.
+
+The engine is deterministic: events scheduled for the same timestamp fire in
+insertion order, and all randomness flows through explicitly-seeded
+:class:`numpy.random.Generator` streams (see :mod:`repro.sim.rng`).
+"""
+
+from repro.sim.engine import Event, Interrupt, Process, Simulator
+from repro.sim.rng import RngStreams
+
+__all__ = ["Event", "Interrupt", "Process", "RngStreams", "Simulator"]

@@ -1,0 +1,34 @@
+"""Simulated RDMA Verbs: devices, memory regions, completion queues, QPs.
+
+This package is the substrate the SDR middleware runs on -- the moral
+equivalent of ``libibverbs`` against a simulated NIC:
+
+* :mod:`repro.verbs.mr` -- memory regions, the NULL memory key
+  (``ibv_alloc_null_mr`` in the paper's late-packet protection) and the
+  zero-based *indirect memory key table* of Figure 5.
+* :mod:`repro.verbs.cq` -- completion queues and CQEs with 32-bit immediates.
+* :mod:`repro.verbs.qp` -- Unreliable Connected (with faithful ePSN
+  resynchronization semantics), Unreliable Datagram, and a Reliable
+  Connected baseline with Go-Back-N retransmission.
+* :mod:`repro.verbs.device` -- devices and the fabric wiring them together.
+"""
+
+from repro.verbs.cq import Cqe, CqeStatus, CompletionQueue
+from repro.verbs.device import Device, Fabric
+from repro.verbs.mr import IndirectMkeyTable, MemoryRegion, NullMemoryRegion
+from repro.verbs.qp import QpState, RcQp, UcQp, UdQp
+
+__all__ = [
+    "CompletionQueue",
+    "Cqe",
+    "CqeStatus",
+    "Device",
+    "Fabric",
+    "IndirectMkeyTable",
+    "MemoryRegion",
+    "NullMemoryRegion",
+    "QpState",
+    "RcQp",
+    "UcQp",
+    "UdQp",
+]

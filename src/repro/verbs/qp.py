@@ -1,0 +1,601 @@
+"""Simulated queue pairs: UC, UD and an RC/Go-Back-N baseline.
+
+The Unreliable Connected QP implements the ePSN semantics that drive the
+paper's Section 3.2.1 design discussion: a multi-packet Write whose packets
+arrive out of sequence is aborted (no completion ever fires, even though
+early packets were already placed), while FIRST/ONLY packets resynchronize
+the expected PSN.  This is why SDR issues one Write-with-immediate *per
+packet* -- and the test suite demonstrates both behaviours against this QP.
+
+The Reliable Connected QP is the commodity-NIC baseline: in-order delivery
+with cumulative ACKs, NAK-on-gap and Go-Back-N retransmission, which is how
+ConnectX-class ASICs recover losses.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.common.errors import ConfigError, SdrStateError
+from repro.net.channel import Channel
+from repro.net.packet import Opcode, Packet
+from repro.sim.engine import Event, Simulator
+from repro.verbs.cq import CompletionQueue, Cqe
+from repro.verbs.device import Device
+from repro.verbs.mr import IndirectMkeyTable, MemoryRegion
+
+
+class QpState(enum.Enum):
+    RESET = "reset"
+    READY = "ready"  # connected, send+receive enabled
+    ERROR = "error"
+
+
+@dataclass
+class SendWr:
+    """A send work request (RDMA Write, optionally with immediate)."""
+
+    length: int
+    rkey: int = 0
+    remote_offset: int = 0
+    payload: bytes | None = None
+    immediate: int | None = None
+    wr_id: int | None = None
+    signaled: bool = True
+
+    def __post_init__(self) -> None:
+        if self.length <= 0:
+            raise ConfigError(f"WR length must be > 0, got {self.length}")
+        if self.payload is not None and len(self.payload) != self.length:
+            raise ConfigError(
+                f"payload length {len(self.payload)} != WR length {self.length}"
+            )
+
+
+@dataclass
+class QpInfo:
+    """Out-of-band connection blob (the ``qp_info_get`` exchange)."""
+
+    device: str
+    qpn: int
+    mtu: int
+
+
+class BaseQp:
+    """State shared by all QP flavours."""
+
+    def __init__(
+        self,
+        device: Device,
+        *,
+        send_cq: CompletionQueue,
+        recv_cq: CompletionQueue,
+        generation: int = 0,
+    ):
+        self.device = device
+        self.sim: Simulator = device.sim
+        self.qpn = device.alloc_qpn()
+        self.send_cq = send_cq
+        self.recv_cq = recv_cq
+        self.generation = generation
+        self.state = QpState.RESET
+        self.channel: Optional[Channel] = None
+        self.dst_qpn = 0
+        self.peer_device = ""
+        device.register_qp(self)
+
+    def info(self) -> QpInfo:
+        return QpInfo(device=self.device.name, qpn=self.qpn, mtu=self.mtu)
+
+    @property
+    def mtu(self) -> int:
+        if self.channel is not None:
+            return self.channel.config.mtu_bytes
+        # Not yet connected: report the device's first link MTU if any.
+        peers = self.device.peers
+        if peers:
+            return self.device.link_to(peers[0]).config.mtu_bytes
+        raise SdrStateError("QP has no connected link; MTU unknown")
+
+    def connect(self, remote: QpInfo) -> None:
+        """Wire this QP to the remote QP described by ``remote``."""
+        if self.state is not QpState.RESET:
+            raise SdrStateError(f"QP {self.qpn} already connected")
+        self.peer_device = remote.device
+        self.dst_qpn = remote.qpn
+        self.channel = self.device.link_to(remote.device)
+        self.state = QpState.READY
+
+    def on_packet(self, packet: Packet) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _require_ready(self) -> None:
+        if self.state is not QpState.READY:
+            raise SdrStateError(f"QP {self.qpn} not in READY state ({self.state})")
+
+    def _place(self, packet: Packet) -> None:
+        """Apply the packet's RDMA Write to receiver memory."""
+        target = self.device.lookup_mkey(packet.rkey)
+        if isinstance(target, IndirectMkeyTable):
+            target.write(packet.remote_offset, packet.length, packet.payload)
+        else:
+            target.write(packet.remote_offset, packet.length, packet.payload)
+
+
+class UcQp(BaseQp):
+    """Unreliable Connected QP with faithful ePSN semantics."""
+
+    def __init__(self, device: Device, **kw):
+        super().__init__(device, **kw)
+        self._sq: deque[SendWr] = deque()
+        self._sq_psn = 0
+        self._epsn = 0
+        self._dropping = False
+        self._in_message = False
+        self._msg_bytes = 0
+        self._wake: Event | None = None
+        self._pump = self.sim.process(self._send_pump())
+        #: Messages aborted at the receiver due to a PSN mismatch.
+        self.messages_aborted = 0
+
+    # -- send side --------------------------------------------------------------
+
+    def post_send(self, wr: SendWr) -> None:
+        self._require_ready()
+        self._sq.append(wr)
+        if self._wake is not None and not self._wake.triggered:
+            self._wake.succeed(None)
+
+    def _send_pump(self):
+        while True:
+            if not self._sq:
+                self._wake = self.sim.event()
+                yield self._wake
+                continue
+            wr = self._sq.popleft()
+            yield from self._inject(wr)
+            if wr.signaled:
+                self.send_cq.push(
+                    Cqe(
+                        qpn=self.qpn,
+                        opcode=Opcode.WRITE_ONLY,
+                        byte_len=wr.length,
+                        timestamp=self.sim.now,
+                        wr_id=wr.wr_id,
+                        generation=self.generation,
+                    )
+                )
+
+    def _inject(self, wr: SendWr):
+        """Fragment a WR into MTU packets and pace them onto the wire."""
+        assert self.channel is not None
+        mtu = self.channel.config.mtu_bytes
+        nfrag = max(1, -(-wr.length // mtu))
+        sent = 0
+        for i in range(nfrag):
+            flen = min(mtu, wr.length - sent)
+            if nfrag == 1:
+                op = Opcode.WRITE_ONLY_IMM if wr.immediate is not None else Opcode.WRITE_ONLY
+            elif i == 0:
+                op = Opcode.WRITE_FIRST
+            elif i == nfrag - 1:
+                op = (
+                    Opcode.WRITE_LAST_IMM
+                    if wr.immediate is not None
+                    else Opcode.WRITE_LAST
+                )
+            else:
+                op = Opcode.WRITE_MIDDLE
+            payload = (
+                None if wr.payload is None else wr.payload[sent : sent + flen]
+            )
+            pkt = Packet(
+                dst_qpn=self.dst_qpn,
+                src_qpn=self.qpn,
+                opcode=op,
+                psn=self._sq_psn,
+                rkey=wr.rkey,
+                remote_offset=wr.remote_offset + sent,
+                length=flen,
+                payload=payload,
+                immediate=wr.immediate if op.name.endswith("IMM") else None,
+            )
+            self._sq_psn = (self._sq_psn + 1) % (1 << 24)
+            done = self.channel.transmit(pkt)
+            sent += flen
+            if done > self.sim.now:
+                yield self.sim.timeout(done - self.sim.now)
+
+    # -- receive side ------------------------------------------------------------
+
+    def on_packet(self, packet: Packet) -> None:
+        op = packet.opcode
+        if op in (Opcode.WRITE_ONLY, Opcode.WRITE_ONLY_IMM):
+            # Single-packet message: always resynchronizes.
+            self._abort_partial()
+            self._epsn = (packet.psn + 1) % (1 << 24)
+            self._place(packet)
+            if op is Opcode.WRITE_ONLY_IMM:
+                self._complete(packet, packet.length)
+            return
+        if op is Opcode.WRITE_FIRST:
+            self._abort_partial()
+            self._dropping = False
+            self._in_message = True
+            self._epsn = (packet.psn + 1) % (1 << 24)
+            self._msg_bytes = packet.length
+            self._place(packet)
+            return
+        if op in (Opcode.WRITE_MIDDLE, Opcode.WRITE_LAST, Opcode.WRITE_LAST_IMM):
+            if self._dropping or not self._in_message or packet.psn != self._epsn:
+                # ePSN mismatch: the entire in-flight message is lost.
+                self._abort_partial()
+                self._dropping = True
+                return
+            self._epsn = (packet.psn + 1) % (1 << 24)
+            self._msg_bytes += packet.length
+            self._place(packet)
+            if op in (Opcode.WRITE_LAST, Opcode.WRITE_LAST_IMM):
+                total, self._msg_bytes = self._msg_bytes, 0
+                self._in_message = False
+                if op is Opcode.WRITE_LAST_IMM:
+                    self._complete(packet, total)
+            return
+        # UC QPs ignore foreign opcodes (e.g. stray ACKs).
+
+    def _abort_partial(self) -> None:
+        if self._in_message:
+            self.messages_aborted += 1
+        self._in_message = False
+        self._msg_bytes = 0
+
+    def _complete(self, packet: Packet, byte_len: int) -> None:
+        self.recv_cq.push(
+            Cqe(
+                qpn=self.qpn,
+                opcode=packet.opcode,
+                byte_len=byte_len,
+                timestamp=self.sim.now,
+                immediate=packet.immediate,
+                generation=self.generation,
+            )
+        )
+
+
+class UdQp(BaseQp):
+    """Unreliable Datagram QP: two-sided, single-packet messages."""
+
+    def __init__(self, device: Device, **kw):
+        super().__init__(device, **kw)
+        self._sq: deque[tuple[SendWr, int, str]] = deque()
+        self._wake: Event | None = None
+        self._pump = self.sim.process(self._send_pump())
+        self._recv_handler = None
+
+    def attach_recv_handler(self, handler) -> None:
+        """Deliver inbound datagrams to ``handler(payload, immediate, src)``.
+
+        The control-path protocols consume datagrams directly rather than
+        via posted buffers; this mirrors an eagerly-reposted receive queue.
+        """
+        self._recv_handler = handler
+
+    def post_send_to(self, wr: SendWr, dst_qpn: int, dst_device: str) -> None:
+        """Send a datagram to an arbitrary destination (UD is connectionless)."""
+        if wr.length > self.device.link_to(dst_device).config.mtu_bytes:
+            raise ConfigError(
+                f"UD datagram of {wr.length} B exceeds the path MTU"
+            )
+        self._sq.append((wr, dst_qpn, dst_device))
+        if self._wake is not None and not self._wake.triggered:
+            self._wake.succeed(None)
+
+    def post_send(self, wr: SendWr) -> None:
+        """Send to the connected peer (convenience for pseudo-connected use)."""
+        self._require_ready()
+        self.post_send_to(wr, self.dst_qpn, self.peer_device)
+
+    def _send_pump(self):
+        while True:
+            if not self._sq:
+                self._wake = self.sim.event()
+                yield self._wake
+                continue
+            wr, dst_qpn, dst_device = self._sq.popleft()
+            channel = self.device.link_to(dst_device)
+            pkt = Packet(
+                dst_qpn=dst_qpn,
+                src_qpn=self.qpn,
+                opcode=Opcode.UD_SEND,
+                length=wr.length,
+                payload=wr.payload,
+                immediate=wr.immediate,
+            )
+            done = channel.transmit(pkt)
+            if done > self.sim.now:
+                yield self.sim.timeout(done - self.sim.now)
+            if wr.signaled:
+                self.send_cq.push(
+                    Cqe(
+                        qpn=self.qpn,
+                        opcode=Opcode.UD_SEND,
+                        byte_len=wr.length,
+                        timestamp=self.sim.now,
+                        wr_id=wr.wr_id,
+                    )
+                )
+
+    def on_packet(self, packet: Packet) -> None:
+        if packet.opcode is not Opcode.UD_SEND:
+            return
+        if self._recv_handler is not None:
+            self._recv_handler(packet.payload, packet.immediate, packet.src_qpn)
+        self.recv_cq.push(
+            Cqe(
+                qpn=self.qpn,
+                opcode=Opcode.UD_SEND,
+                byte_len=packet.length,
+                timestamp=self.sim.now,
+                immediate=packet.immediate,
+            )
+        )
+
+
+@dataclass
+class _RcPacketDesc:
+    """Layout of one RC wire packet so Go-Back-N can rebuild it."""
+
+    wr_index: int
+    offset_in_wr: int
+    length: int
+    opcode: Opcode
+    last_of_wr: bool
+
+
+class RcQp(BaseQp):
+    """Reliable Connected QP with Go-Back-N (the commodity-NIC baseline).
+
+    The receiver delivers strictly in order, ACKs cumulatively (coalescing up
+    to ``ack_every`` packets) and NAKs the expected PSN on a sequence gap;
+    the sender retransmits from the lowest unacknowledged PSN on NAK or on
+    retransmission timeout.
+    """
+
+    ACK_BYTES = 64  # wire footprint of an ACK/NAK frame
+
+    def __init__(
+        self,
+        device: Device,
+        *,
+        window_packets: int = 1024,
+        rto: float | None = None,
+        ack_every: int = 16,
+        **kw,
+    ):
+        super().__init__(device, **kw)
+        if window_packets <= 0:
+            raise ConfigError(f"window must be > 0, got {window_packets}")
+        if ack_every <= 0:
+            raise ConfigError(f"ack_every must be > 0, got {ack_every}")
+        self.window_packets = window_packets
+        self.rto = rto
+        self.ack_every = ack_every
+        # Sender state.
+        self._wrs: list[SendWr] = []
+        self._descs: list[_RcPacketDesc] = []
+        self._snd_una = 0
+        self._snd_nxt = 0
+        self._built = 0
+        self._wake: Event | None = None
+        self._pump = self.sim.process(self._send_pump())
+        self._timer_armed_at: float | None = None
+        # Receiver state.
+        self._epsn = 0
+        self._nak_sent_for = -1
+        self._unacked_rx = 0
+        self.retransmissions = 0
+        self.naks_sent = 0
+
+    # -- configuration -----------------------------------------------------------
+
+    def _effective_rto(self) -> float:
+        if self.rto is not None:
+            return self.rto
+        assert self.channel is not None
+        cfg = self.channel.config
+        # The timeout must cover both the propagation RTO and the ACK
+        # coalescing interval (ack_every packets of serialization), or a
+        # short-RTT link would rewind spuriously between coalesced ACKs.
+        coalesce = 4.0 * self.ack_every * cfg.packet_time()
+        return max(cfg.rtt * (1.0 + cfg.alpha), coalesce + cfg.rtt)
+
+    # -- send side ----------------------------------------------------------------
+
+    def post_send(self, wr: SendWr) -> None:
+        self._require_ready()
+        assert self.channel is not None
+        mtu = self.channel.config.mtu_bytes
+        wr_index = len(self._wrs)
+        self._wrs.append(wr)
+        nfrag = max(1, -(-wr.length // mtu))
+        sent = 0
+        for i in range(nfrag):
+            flen = min(mtu, wr.length - sent)
+            if nfrag == 1:
+                op = (
+                    Opcode.WRITE_ONLY_IMM
+                    if wr.immediate is not None
+                    else Opcode.WRITE_ONLY
+                )
+            elif i == 0:
+                op = Opcode.WRITE_FIRST
+            elif i == nfrag - 1:
+                op = (
+                    Opcode.WRITE_LAST_IMM
+                    if wr.immediate is not None
+                    else Opcode.WRITE_LAST
+                )
+            else:
+                op = Opcode.WRITE_MIDDLE
+            self._descs.append(
+                _RcPacketDesc(
+                    wr_index=wr_index,
+                    offset_in_wr=sent,
+                    length=flen,
+                    opcode=op,
+                    last_of_wr=(i == nfrag - 1),
+                )
+            )
+            sent += flen
+        self._kick()
+
+    def _kick(self) -> None:
+        if self._wake is not None and not self._wake.triggered:
+            self._wake.succeed(None)
+
+    def _send_pump(self):
+        while True:
+            can_send = (
+                self._snd_nxt < len(self._descs)
+                and self._snd_nxt - self._snd_una < self.window_packets
+            )
+            if not can_send:
+                self._wake = self.sim.event()
+                yield self._wake
+                continue
+            psn = self._snd_nxt
+            self._snd_nxt += 1
+            if psn < self._built:
+                self.retransmissions += 1
+            else:
+                self._built = psn + 1
+            desc = self._descs[psn]
+            wr = self._wrs[desc.wr_index]
+            payload = (
+                None
+                if wr.payload is None
+                else wr.payload[desc.offset_in_wr : desc.offset_in_wr + desc.length]
+            )
+            pkt = Packet(
+                dst_qpn=self.dst_qpn,
+                src_qpn=self.qpn,
+                opcode=desc.opcode,
+                psn=psn,
+                rkey=wr.rkey,
+                remote_offset=wr.remote_offset + desc.offset_in_wr,
+                length=desc.length,
+                payload=payload,
+                immediate=(
+                    wr.immediate if desc.opcode.name.endswith("IMM") else None
+                ),
+            )
+            assert self.channel is not None
+            done = self.channel.transmit(pkt)
+            self._arm_timer()
+            if done > self.sim.now:
+                yield self.sim.timeout(done - self.sim.now)
+
+    def _arm_timer(self) -> None:
+        if self._timer_armed_at is not None:
+            return
+        self._timer_armed_at = self.sim.now
+        snapshot = self._snd_una
+        rto = self._effective_rto()
+
+        def _expire() -> None:
+            self._timer_armed_at = None
+            if self._snd_una >= len(self._descs) and self._snd_una == self._snd_nxt:
+                return  # everything acked
+            if self._snd_una == snapshot:
+                # No progress within RTO: Go-Back-N rewind.
+                self._snd_nxt = self._snd_una
+                self._kick()
+            if self._snd_una < self._snd_nxt or self._snd_una < len(self._descs):
+                self._arm_timer()
+
+        self.sim.call_in(rto, _expire)
+
+    def _on_ack(self, acked_psn: int, is_nak: bool) -> None:
+        new_una = acked_psn + 1
+        if new_una > self._snd_una:
+            for psn in range(self._snd_una, new_una):
+                desc = self._descs[psn]
+                if desc.last_of_wr:
+                    wr = self._wrs[desc.wr_index]
+                    if wr.signaled:
+                        self.send_cq.push(
+                            Cqe(
+                                qpn=self.qpn,
+                                opcode=Opcode.WRITE_ONLY,
+                                byte_len=wr.length,
+                                timestamp=self.sim.now,
+                                wr_id=wr.wr_id,
+                            )
+                        )
+            self._snd_una = new_una
+            self._timer_armed_at = None
+            if self._snd_una < len(self._descs):
+                self._arm_timer()
+            self._kick()
+        if is_nak and self._snd_nxt > self._snd_una:
+            self._snd_nxt = self._snd_una
+            self._kick()
+
+    # -- receive side ---------------------------------------------------------------
+
+    def on_packet(self, packet: Packet) -> None:
+        if packet.opcode is Opcode.ACK:
+            # rkey carries the NAK flag on ACK frames (see _send_ack).
+            self._on_ack(packet.psn, is_nak=bool(packet.rkey))
+            return
+        if packet.psn == self._epsn:
+            self._epsn += 1
+            self._nak_sent_for = -1
+            self._place(packet)
+            self._unacked_rx += 1
+            boundary = packet.opcode in (
+                Opcode.WRITE_ONLY,
+                Opcode.WRITE_ONLY_IMM,
+                Opcode.WRITE_LAST,
+                Opcode.WRITE_LAST_IMM,
+            )
+            if packet.carries_immediate:
+                self.recv_cq.push(
+                    Cqe(
+                        qpn=self.qpn,
+                        opcode=packet.opcode,
+                        byte_len=packet.length,
+                        timestamp=self.sim.now,
+                        immediate=packet.immediate,
+                    )
+                )
+            if boundary or self._unacked_rx >= self.ack_every:
+                self._send_ack(self._epsn - 1, nak=False)
+                self._unacked_rx = 0
+        elif packet.psn > self._epsn:
+            # Sequence gap: NAK the expected PSN once.
+            if self._nak_sent_for != self._epsn:
+                self._nak_sent_for = self._epsn
+                self.naks_sent += 1
+                self._send_ack(self._epsn - 1, nak=True)
+        else:
+            # Duplicate from a rewind: re-ACK current progress.
+            self._send_ack(self._epsn - 1, nak=False)
+
+    def _send_ack(self, psn: int, *, nak: bool) -> None:
+        if psn < 0:
+            psn = 0
+        channel = self.device.link_to(self.peer_device)
+        channel.transmit(
+            Packet(
+                dst_qpn=self.dst_qpn,
+                src_qpn=self.qpn,
+                opcode=Opcode.ACK,
+                psn=psn,
+                rkey=1 if nak else 0,
+                length=self.ACK_BYTES,
+            )
+        )

@@ -1,0 +1,17 @@
+"""Workload generators for inter-datacenter traffic.
+
+The paper's motivating workload is multi-datacenter training: per-step
+gradient synchronization of hundreds-of-MiB buffers, bucketized DDP-style
+so communication overlaps the backward pass.
+:mod:`repro.workloads.training` generates those bucket traces and evaluates
+how the reliability layer's per-message completion time translates into
+end-to-end training-step time.
+"""
+
+from repro.workloads.training import (
+    BucketTrace,
+    TrainingStepConfig,
+    step_time_samples,
+)
+
+__all__ = ["BucketTrace", "TrainingStepConfig", "step_time_samples"]

@@ -1,0 +1,116 @@
+"""Gradient-bucket traces and training-step time evaluation.
+
+Data-parallel training frameworks (PyTorch DDP/FSDP, cited by the paper)
+bucketize gradients and launch the Allreduce of each bucket as soon as the
+backward pass produces it, overlapping compute and communication.  Over a
+lossy inter-DC link the *reliability layer's* completion time decides how
+much of that overlap survives: a single RTO-delayed bucket can put the
+whole step on the network critical path.
+
+:func:`step_time_samples` evaluates one training step:
+
+* buckets become ready at evenly spaced points of the backward pass
+  (last-layer gradients first -- the standard reverse-order schedule);
+* the inter-DC link transfers one bucket at a time (FIFO), each transfer's
+  duration drawn from a reliability-protocol completion-time sampler;
+* the step ends when compute is done *and* the last bucket is delivered.
+
+This turns the paper's per-Write distributions into the end-to-end metric
+a training engineer cares about.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import ConfigError
+from repro.collectives.ring_allreduce import StageSampler
+
+
+@dataclass(frozen=True)
+class TrainingStepConfig:
+    """One data-parallel training step's communication profile."""
+
+    #: Total gradient bytes exchanged per step (per peer link).
+    gradient_bytes: int
+    #: DDP bucket size; the last bucket may be smaller.
+    bucket_bytes: int
+    #: Duration of the backward pass (compute available for overlap).
+    backward_seconds: float
+
+    def __post_init__(self) -> None:
+        if self.gradient_bytes <= 0:
+            raise ConfigError("gradient_bytes must be positive")
+        if self.bucket_bytes <= 0:
+            raise ConfigError("bucket_bytes must be positive")
+        if self.backward_seconds < 0:
+            raise ConfigError("backward_seconds must be non-negative")
+
+    @property
+    def n_buckets(self) -> int:
+        return math.ceil(self.gradient_bytes / self.bucket_bytes)
+
+
+@dataclass(frozen=True)
+class BucketTrace:
+    """Ready times and sizes of one step's gradient buckets."""
+
+    ready_times: np.ndarray  # seconds from step start, ascending
+    sizes: np.ndarray        # bytes
+
+    def __post_init__(self) -> None:
+        if len(self.ready_times) != len(self.sizes):
+            raise ConfigError("ready_times and sizes must align")
+        if len(self.sizes) == 0:
+            raise ConfigError("trace must contain at least one bucket")
+
+
+def make_trace(config: TrainingStepConfig) -> BucketTrace:
+    """Evenly spaced bucket readiness over the backward pass."""
+    n = config.n_buckets
+    sizes = np.full(n, config.bucket_bytes, dtype=np.int64)
+    tail = config.gradient_bytes - (n - 1) * config.bucket_bytes
+    sizes[-1] = tail
+    # Bucket i becomes ready at fraction (i+1)/n of the backward pass.
+    ready = config.backward_seconds * (np.arange(1, n + 1) / n)
+    return BucketTrace(ready_times=ready, sizes=sizes)
+
+
+def step_time_samples(
+    config: TrainingStepConfig,
+    sampler: StageSampler,
+    n_samples: int = 1000,
+    *,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Monte-Carlo samples of the training-step completion time.
+
+    FIFO bucket pipeline: transfer of bucket i starts at
+    ``max(ready_i, done_{i-1})`` and takes a freshly sampled reliable-Write
+    completion time; the step finishes at
+    ``max(backward_seconds, done_last)``.
+    """
+    if n_samples <= 0:
+        raise ConfigError(f"need >= 1 sample, got {n_samples}")
+    rng = rng if rng is not None else np.random.default_rng()
+    trace = make_trace(config)
+    done = np.zeros(n_samples)
+    for ready, size in zip(trace.ready_times, trace.sizes):
+        durations = sampler(int(size), n_samples, rng)
+        done = np.maximum(done, ready) + durations
+    return np.maximum(done, config.backward_seconds)
+
+
+def communication_exposed_seconds(
+    config: TrainingStepConfig,
+    sampler: StageSampler,
+    n_samples: int = 1000,
+    *,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """How much of the step the network fails to hide behind compute."""
+    samples = step_time_samples(config, sampler, n_samples, rng=rng)
+    return samples - config.backward_seconds

@@ -1,0 +1,128 @@
+"""Tree collectives: schedules, recurrence, ring-vs-tree trade-off."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.collectives.ring_allreduce import (
+    RingAllreduce,
+    ec_stage_sampler,
+    ideal_stage_sampler,
+    sr_stage_sampler,
+)
+from repro.collectives.tree import (
+    BinomialBroadcast,
+    StagedCollective,
+    TreeAllreduce,
+    binomial_broadcast_schedule,
+    binomial_reduce_schedule,
+)
+from repro.common.errors import ConfigError
+from repro.common.units import KiB, MiB
+from repro.models.params import ModelParams
+
+
+def params(drop=1e-4):
+    return ModelParams(
+        bandwidth_bps=400e9, rtt=25e-3, chunk_bytes=64 * KiB,
+        drop_probability=drop,
+    )
+
+
+class TestSchedules:
+    def test_broadcast_rounds_are_log2(self):
+        for n in (2, 3, 4, 7, 8, 16):
+            schedule = binomial_broadcast_schedule(n)
+            assert len(schedule) == math.ceil(math.log2(n))
+
+    def test_broadcast_informs_everyone_exactly_once(self):
+        for n in (2, 5, 8, 13):
+            schedule = binomial_broadcast_schedule(n)
+            informed = {0}
+            receivers: list[int] = []
+            for edges in schedule:
+                for src, dst in edges:
+                    assert src in informed, "sender must already be informed"
+                    receivers.append(dst)
+                informed |= {dst for _, dst in edges}
+            assert informed == set(range(n))
+            assert len(receivers) == len(set(receivers)) == n - 1
+
+    def test_reduce_is_reversed_broadcast(self):
+        bcast = binomial_broadcast_schedule(8)
+        reduce_ = binomial_reduce_schedule(8)
+        assert len(reduce_) == len(bcast)
+        assert reduce_[0] == [(dst, src) for src, dst in bcast[-1]]
+
+    def test_nonzero_root(self):
+        schedule = binomial_broadcast_schedule(4, root=2)
+        first_src = schedule[0][0][0]
+        assert first_src == 2
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            binomial_broadcast_schedule(0)
+        with pytest.raises(ConfigError):
+            binomial_broadcast_schedule(4, root=4)
+        with pytest.raises(ConfigError):
+            StagedCollective(2, [[(0, 0)]], 1024)
+        with pytest.raises(ConfigError):
+            StagedCollective(2, [[(0, 5)]], 1024)
+
+
+class TestRecurrence:
+    def test_lossless_broadcast_is_rounds_times_stage(self):
+        p = params(drop=0.0)
+        bcast = BinomialBroadcast(8, 32 * MiB)
+        stage = p.ideal_completion(32 * MiB)
+        samples = bcast.sample(ideal_stage_sampler(p), 10)
+        assert np.allclose(samples, 3 * stage)
+
+    def test_tree_allreduce_rounds(self):
+        tree = TreeAllreduce(8, 32 * MiB)
+        assert tree.rounds == tree.expected_rounds == 6
+
+    def test_loss_increases_completion(self):
+        tree = TreeAllreduce(8, 128 * MiB)
+        rng = np.random.default_rng(0)
+        clean = tree.sample(ideal_stage_sampler(params(0.0)), 200, rng=rng)
+        lossy = tree.sample(sr_stage_sampler(params(1e-3)), 200, rng=rng)
+        assert lossy.mean() > clean.mean()
+
+    def test_lower_bound_respected(self):
+        p = params(1e-3)
+        tree = TreeAllreduce(8, 128 * MiB)
+        samples = tree.sample(sr_stage_sampler(p), 300, rng=np.random.default_rng(1))
+        bound = tree.lower_bound(p.ideal_completion(128 * MiB))
+        assert samples.min() >= bound * 0.999
+
+    def test_ec_beats_sr_on_tree_too(self):
+        """Appendix C: the reliability amplification generalizes to trees."""
+        p = params(1e-3)
+        tree = TreeAllreduce(8, 128 * MiB)
+        rng = np.random.default_rng(2)
+        sr = tree.sample(sr_stage_sampler(p), 500, rng=rng)
+        ec = tree.sample(ec_stage_sampler(p), 500, rng=rng)
+        assert np.percentile(sr, 99) > np.percentile(ec, 99)
+
+
+class TestRingVsTree:
+    def test_tree_wins_small_buffers_ring_wins_large(self):
+        """Latency-bound small buffers favour log2(N) full-buffer stages;
+        bandwidth-bound large buffers favour the ring's segmentation."""
+        p = params(drop=0.0)
+        n = 8
+        rng = np.random.default_rng(3)
+
+        def mean_time(buffer_bytes):
+            ring = RingAllreduce(n_datacenters=n, buffer_bytes=buffer_bytes)
+            tree = TreeAllreduce(n, buffer_bytes)
+            r = ring.sample(ideal_stage_sampler(p), 10, rng=rng).mean()
+            t = tree.sample(ideal_stage_sampler(p), 10, rng=rng).mean()
+            return r, t
+
+        small_ring, small_tree = mean_time(1 * MiB)      # RTT-dominated
+        large_ring, large_tree = mean_time(8192 * MiB)   # BW-dominated
+        assert small_tree < small_ring
+        assert large_ring < large_tree

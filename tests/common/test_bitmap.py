@@ -1,0 +1,168 @@
+"""Bitmap unit + property tests (backs the SDR partial-completion API)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.bitmap import Bitmap
+
+
+class TestBasics:
+    def test_new_bitmap_is_empty(self):
+        bm = Bitmap(17)
+        assert len(bm) == 17
+        assert bm.count() == 0
+        assert not bm.any_set()
+        assert not bm.all_set()
+
+    def test_set_and_test(self):
+        bm = Bitmap(10)
+        assert bm.set(3)
+        assert bm.test(3)
+        assert not bm.test(4)
+        assert bm.count() == 1
+
+    def test_set_is_idempotent(self):
+        bm = Bitmap(10)
+        assert bm.set(3)
+        assert not bm.set(3)  # second set reports no transition
+        assert bm.count() == 1
+
+    def test_clear(self):
+        bm = Bitmap(10)
+        bm.set(7)
+        assert bm.clear(7)
+        assert not bm.clear(7)
+        assert bm.count() == 0
+
+    def test_all_set(self):
+        bm = Bitmap(9)
+        for i in range(9):
+            bm.set(i)
+        assert bm.all_set()
+
+    def test_reset(self):
+        bm = Bitmap(12)
+        for i in (0, 5, 11):
+            bm.set(i)
+        bm.reset()
+        assert bm.count() == 0
+        assert not bm.any_set()
+
+    def test_out_of_range(self):
+        bm = Bitmap(8)
+        with pytest.raises(IndexError):
+            bm.set(8)
+        with pytest.raises(IndexError):
+            bm.test(-1)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            Bitmap(0)
+
+
+class TestQueries:
+    def test_missing(self):
+        bm = Bitmap(6)
+        bm.set(0)
+        bm.set(2)
+        assert list(bm.missing()) == [1, 3, 4, 5]
+
+    def test_set_indices(self):
+        bm = Bitmap(6)
+        bm.set(1)
+        bm.set(4)
+        assert list(bm.set_indices()) == [1, 4]
+
+    def test_cumulative_empty(self):
+        assert Bitmap(5).cumulative() == 0
+
+    def test_cumulative_prefix(self):
+        bm = Bitmap(5)
+        for i in (0, 1, 3):
+            bm.set(i)
+        assert bm.cumulative() == 2
+
+    def test_cumulative_full(self):
+        bm = Bitmap(5)
+        for i in range(5):
+            bm.set(i)
+        assert bm.cumulative() == 5
+
+    def test_as_array(self):
+        bm = Bitmap(10)
+        bm.set(9)
+        arr = bm.as_array()
+        assert arr.dtype == bool
+        assert arr[9] and not arr[:9].any()
+
+
+class TestWireEncoding:
+    def test_roundtrip(self):
+        bm = Bitmap(20)
+        for i in (0, 7, 8, 13, 19):
+            bm.set(i)
+        clone = Bitmap.from_bytes(20, bm.to_bytes())
+        assert list(clone.set_indices()) == list(bm.set_indices())
+        assert clone.count() == bm.count()
+
+    def test_window_encoding(self):
+        bm = Bitmap(64)
+        bm.set(40)
+        window = bm.to_bytes(start_bit=32, max_bytes=2)
+        assert len(window) == 2
+        assert window[1] == 1  # bit 40 = byte 5 (window byte 1), bit 0
+
+    def test_from_bytes_length_check(self):
+        with pytest.raises(ValueError):
+            Bitmap.from_bytes(16, b"\x00")
+
+    def test_padding_bits_masked(self):
+        # Stray bits beyond nbits must not corrupt the popcount.
+        clone = Bitmap.from_bytes(3, b"\xff")
+        assert clone.count() == 3
+
+    def test_to_bytes_bad_start(self):
+        with pytest.raises(IndexError):
+            Bitmap(8).to_bytes(start_bit=9)
+
+
+@settings(max_examples=100)
+@given(
+    nbits=st.integers(1, 300),
+    data=st.data(),
+)
+def test_property_count_matches_distinct_sets(nbits, data):
+    indices = data.draw(
+        st.lists(st.integers(0, nbits - 1), min_size=0, max_size=nbits)
+    )
+    bm = Bitmap(nbits)
+    for i in indices:
+        bm.set(i)
+    distinct = set(indices)
+    assert bm.count() == len(distinct)
+    assert bm.all_set() == (len(distinct) == nbits)
+    assert sorted(bm.set_indices().tolist()) == sorted(distinct)
+    # Missing and set indices partition the domain.
+    assert set(bm.missing().tolist()) | distinct == set(range(nbits))
+
+
+@settings(max_examples=60)
+@given(nbits=st.integers(1, 200), data=st.data())
+def test_property_wire_roundtrip(nbits, data):
+    indices = data.draw(st.lists(st.integers(0, nbits - 1), max_size=nbits))
+    bm = Bitmap.from_indices(nbits, indices)
+    clone = Bitmap.from_bytes(nbits, bm.to_bytes())
+    assert np.array_equal(clone.as_array(), bm.as_array())
+
+
+@settings(max_examples=60)
+@given(nbits=st.integers(1, 200), data=st.data())
+def test_property_cumulative_is_prefix_length(nbits, data):
+    indices = data.draw(st.lists(st.integers(0, nbits - 1), max_size=nbits))
+    bm = Bitmap.from_indices(nbits, indices)
+    cum = bm.cumulative()
+    arr = bm.as_array()
+    assert arr[:cum].all()
+    assert cum == nbits or not arr[cum]

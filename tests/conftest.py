@@ -1,0 +1,98 @@
+"""Shared fixtures: wired SDR pairs and protocol endpoints."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.common.config import ChannelConfig, DpaConfig, SdrConfig
+from repro.common.units import KiB, MiB
+from repro.reliability.base import ControlPath
+from repro.sdr.context import SdrContext, context_create
+from repro.sdr.qp import SdrQp
+from repro.sim.engine import Simulator
+from repro.verbs.device import Device, Fabric
+
+
+@dataclass
+class SdrPair:
+    """Two connected SDR endpoints over one link, plus control paths."""
+
+    sim: Simulator
+    fabric: Fabric
+    dev_a: Device
+    dev_b: Device
+    ctx_a: SdrContext
+    ctx_b: SdrContext
+    qp_a: SdrQp
+    qp_b: SdrQp
+    ctrl_a: ControlPath
+    ctrl_b: ControlPath
+    channel: ChannelConfig
+
+
+def make_sdr_pair(
+    *,
+    drop: float = 0.0,
+    bandwidth_bps: float = 100e9,
+    distance_km: float = 100.0,
+    mtu: int = 4 * KiB,
+    chunk: int = 8 * KiB,
+    max_message: int = 4 * MiB,
+    channels: int = 4,
+    generations: int = 4,
+    inflight: int = 16,
+    jitter: float = 0.0,
+    seed: int = 0,
+    dpa: DpaConfig | None = None,
+) -> SdrPair:
+    sim = Simulator()
+    fabric = Fabric(sim, seed=seed)
+    dev_a = fabric.add_device("dc-a")
+    dev_b = fabric.add_device("dc-b")
+    channel = ChannelConfig(
+        bandwidth_bps=bandwidth_bps,
+        distance_km=distance_km,
+        mtu_bytes=mtu,
+        drop_probability=drop,
+        jitter_fraction=jitter,
+    )
+    fabric.connect(dev_a, dev_b, channel)
+    sdr_cfg = SdrConfig(
+        chunk_bytes=chunk,
+        max_message_bytes=max_message,
+        mtu_bytes=mtu,
+        channels=channels,
+        generations=generations,
+        inflight_messages=inflight,
+    )
+    ctx_a = context_create(dev_a, sdr_config=sdr_cfg, dpa_config=dpa)
+    ctx_b = context_create(dev_b, sdr_config=sdr_cfg, dpa_config=dpa)
+    qp_a = ctx_a.qp_create()
+    qp_b = ctx_b.qp_create()
+    qp_a.connect(qp_b.info_get())
+    qp_b.connect(qp_a.info_get())
+    ctrl_a = ControlPath(ctx_a)
+    ctrl_b = ControlPath(ctx_b)
+    ctrl_a.connect(ctrl_b.info())
+    ctrl_b.connect(ctrl_a.info())
+    return SdrPair(
+        sim=sim,
+        fabric=fabric,
+        dev_a=dev_a,
+        dev_b=dev_b,
+        ctx_a=ctx_a,
+        ctx_b=ctx_b,
+        qp_a=qp_a,
+        qp_b=qp_b,
+        ctrl_a=ctrl_a,
+        ctrl_b=ctrl_b,
+        channel=channel,
+    )
+
+
+@pytest.fixture
+def sdr_pair() -> SdrPair:
+    """Lossless default pair."""
+    return make_sdr_pair()

@@ -1,0 +1,114 @@
+"""DPA worker/engine: service rates, chunk-close costs, scaling."""
+
+import pytest
+
+from repro.common.config import DpaConfig
+from repro.common.errors import ConfigError
+from repro.dpa.worker import DpaEngine, DpaWorker
+from repro.net.packet import Opcode
+from repro.sim.engine import Simulator
+from repro.verbs.cq import CompletionQueue, Cqe
+
+
+def cqe(ts=0.0):
+    return Cqe(qpn=1, opcode=Opcode.WRITE_ONLY_IMM, byte_len=64, timestamp=ts)
+
+
+class TestWorker:
+    def test_processes_all_cqes(self):
+        sim = Simulator()
+        cfg = DpaConfig(per_cqe_seconds=1e-6, pcie_update_seconds=0.0)
+        worker = DpaWorker(sim, cfg)
+        cq = CompletionQueue(sim)
+        seen = []
+        worker.assign(cq, lambda c: (seen.append(c), False)[1])
+        for _ in range(10):
+            cq.push(cqe())
+        sim.run(until=1.0)
+        assert len(seen) == 10
+        assert worker.stats.cqes_processed == 10
+
+    def test_service_rate_is_per_cqe_cost(self):
+        sim = Simulator()
+        cfg = DpaConfig(per_cqe_seconds=1e-6, pcie_update_seconds=0.0)
+        worker = DpaWorker(sim, cfg)
+        cq = CompletionQueue(sim)
+        done_times = []
+        worker.assign(cq, lambda c: (done_times.append(sim.now), False)[1])
+        for _ in range(5):
+            cq.push(cqe())
+        sim.run(until=1.0)
+        # Back-to-back CQEs drain at exactly 1 us apart.
+        assert done_times == pytest.approx([1e-6 * (i + 1) for i in range(5)])
+
+    def test_chunk_close_adds_pcie_cost(self):
+        sim = Simulator()
+        cfg = DpaConfig(per_cqe_seconds=1e-6, pcie_update_seconds=5e-7)
+        worker = DpaWorker(sim, cfg)
+        cq = CompletionQueue(sim)
+        worker.assign(cq, lambda c: True)  # every CQE closes a chunk
+        for _ in range(4):
+            cq.push(cqe())
+        sim.run(until=1.0)
+        assert worker.stats.chunks_closed == 4
+        assert worker.stats.busy_seconds == pytest.approx(4 * 1.5e-6)
+
+    def test_wakes_on_late_arrivals(self):
+        sim = Simulator()
+        worker = DpaWorker(sim, DpaConfig(per_cqe_seconds=1e-6))
+        cq = CompletionQueue(sim)
+        seen = []
+        worker.assign(cq, lambda c: (seen.append(sim.now), False)[1])
+        sim.call_in(0.5, lambda: cq.push(cqe()))
+        sim.run(until=1.0)
+        assert len(seen) == 1
+        assert seen[0] == pytest.approx(0.5 + 1e-6)
+
+
+class TestEngine:
+    def test_round_robin_attachment(self):
+        sim = Simulator()
+        engine = DpaEngine(sim, DpaConfig(worker_threads=2))
+        cqs = [CompletionQueue(sim) for _ in range(4)]
+        for cq in cqs:
+            engine.attach(cq, lambda c: False)
+        assert len(engine.workers) == 2
+        assert len(engine.workers[0]._queues) == 2
+        assert len(engine.workers[1]._queues) == 2
+
+    def test_aggregate_rate_scales_with_workers(self):
+        for threads in (1, 4):
+            sim = Simulator()
+            cfg = DpaConfig(
+                worker_threads=threads, per_cqe_seconds=1e-6,
+                pcie_update_seconds=0.0,
+            )
+            engine = DpaEngine(sim, cfg)
+            engine.spawn_workers()
+            cqs = [CompletionQueue(sim) for _ in range(threads)]
+            for cq in cqs:
+                engine.attach(cq, lambda c: False)
+            n_per_cq = 1000
+            for cq in cqs:
+                for _ in range(n_per_cq):
+                    cq.push(cqe())
+            sim.run(until=n_per_cq * 1e-6 + 1e-9)
+            assert engine.cqes_processed == threads * n_per_cq
+
+    def test_worker_capacity_enforced(self):
+        sim = Simulator()
+        engine = DpaEngine(sim, DpaConfig(worker_threads=16, total_threads=256))
+        engine.spawn_workers(250)
+        with pytest.raises(ConfigError):
+            engine.spawn_workers(10)
+
+    def test_utilization(self):
+        sim = Simulator()
+        cfg = DpaConfig(worker_threads=1, per_cqe_seconds=1e-3)
+        engine = DpaEngine(sim, cfg)
+        cq = CompletionQueue(sim)
+        engine.attach(cq, lambda c: False)
+        cq.push(cqe())
+        sim.run(until=2e-3)
+        assert engine.utilization(2e-3) == pytest.approx(0.5)
+        assert engine.utilization(0) == 0.0

@@ -1,0 +1,128 @@
+"""GF(256) field axioms and matrix algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import ConfigError
+from repro.ec.gf256 import (
+    gf_inv,
+    gf_mat_inv,
+    gf_matmul,
+    gf_mul,
+    gf_mul_accumulate,
+    gf_mul_bytes,
+    gf_pow,
+)
+
+elements = st.integers(0, 255)
+nonzero = st.integers(1, 255)
+
+
+class TestScalarOps:
+    def test_multiplicative_identity(self):
+        for a in range(256):
+            assert gf_mul(a, 1) == a
+
+    def test_zero_annihilates(self):
+        for a in range(256):
+            assert gf_mul(a, 0) == 0
+
+    def test_known_product_in_0x11d_field(self):
+        # In GF(256) with polynomial 0x11D (the RS/ISA-L field):
+        # 2 * 142 = 284 = 0x11C, reduced by 0x11D -> 1.
+        assert gf_mul(2, 142) == 1
+        assert gf_inv(2) == 142
+
+    def test_inverse(self):
+        for a in range(1, 256):
+            assert gf_mul(a, gf_inv(a)) == 1
+
+    def test_inv_of_zero_rejected(self):
+        with pytest.raises(ConfigError):
+            gf_inv(0)
+
+    def test_pow(self):
+        assert gf_pow(2, 0) == 1
+        assert gf_pow(2, 1) == 2
+        assert gf_pow(0, 5) == 0
+        assert gf_pow(0, 0) == 1
+        # Fermat: a^255 = 1 for nonzero a.
+        for a in (1, 2, 3, 97, 255):
+            assert gf_pow(a, 255) == 1
+
+
+@settings(max_examples=200)
+@given(a=elements, b=elements, c=elements)
+def test_property_field_axioms(a, b, c):
+    # Commutativity and associativity of multiplication.
+    assert gf_mul(a, b) == gf_mul(b, a)
+    assert gf_mul(gf_mul(a, b), c) == gf_mul(a, gf_mul(b, c))
+    # Distributivity over XOR (the field's addition).
+    assert gf_mul(a, b ^ c) == gf_mul(a, b) ^ gf_mul(a, c)
+
+
+class TestVectorOps:
+    def test_mul_bytes_matches_scalar(self):
+        rng = np.random.default_rng(0)
+        data = rng.integers(0, 256, 257, dtype=np.uint8)
+        for coef in (0, 1, 2, 0x1D, 255):
+            expected = np.array([gf_mul(coef, int(x)) for x in data], np.uint8)
+            assert np.array_equal(gf_mul_bytes(coef, data), expected)
+
+    def test_mul_bytes_invalid_coef(self):
+        with pytest.raises(ConfigError):
+            gf_mul_bytes(256, np.zeros(4, np.uint8))
+
+    def test_mul_accumulate_matches_mul_bytes(self):
+        rng = np.random.default_rng(1)
+        data = rng.integers(0, 256, 512, dtype=np.uint8)
+        pairs = data.view(np.uint16).astype(np.intp)
+        for coef in (0, 1, 7, 200):
+            acc = np.zeros(256, np.uint16)
+            gf_mul_accumulate(acc, coef, pairs)
+            assert np.array_equal(acc.view(np.uint8), gf_mul_bytes(coef, data))
+
+    def test_mul_accumulate_accumulates(self):
+        rng = np.random.default_rng(2)
+        data = rng.integers(0, 256, 64, dtype=np.uint8)
+        pairs = data.view(np.uint16).astype(np.intp)
+        acc = np.zeros(32, np.uint16)
+        gf_mul_accumulate(acc, 3, pairs)
+        gf_mul_accumulate(acc, 3, pairs)
+        assert not acc.any()  # x ^ x == 0
+
+
+class TestMatrixOps:
+    def test_matmul_identity(self):
+        rng = np.random.default_rng(3)
+        a = rng.integers(0, 256, (5, 5), dtype=np.uint8)
+        eye = np.eye(5, dtype=np.uint8)
+        assert np.array_equal(gf_matmul(a, eye), a)
+        assert np.array_equal(gf_matmul(eye, a), a)
+
+    def test_mat_inv_roundtrip(self):
+        rng = np.random.default_rng(4)
+        for _ in range(10):
+            while True:
+                m = rng.integers(0, 256, (6, 6), dtype=np.uint8)
+                try:
+                    inv = gf_mat_inv(m)
+                    break
+                except ConfigError:
+                    continue
+            assert np.array_equal(
+                gf_matmul(m, inv), np.eye(6, dtype=np.uint8)
+            )
+
+    def test_singular_rejected(self):
+        m = np.zeros((3, 3), dtype=np.uint8)
+        with pytest.raises(ConfigError):
+            gf_mat_inv(m)
+
+    def test_shape_validation(self):
+        with pytest.raises(ConfigError):
+            gf_matmul(np.zeros((2, 3), np.uint8), np.zeros((2, 3), np.uint8))
+        with pytest.raises(ConfigError):
+            gf_mat_inv(np.zeros((2, 3), np.uint8))

@@ -1,0 +1,49 @@
+"""Reduced-scale smoke runs of the DES-based figure harnesses (14-16).
+
+The full-size runs (and their shape assertions) live in benchmarks/; these
+keep the figure modules covered by the plain test suite.
+"""
+
+from repro.common.units import KiB, MiB
+from repro.experiments import fig14, fig15, fig16
+
+
+class TestFig14:
+    def test_size_sweep_small(self):
+        table = fig14.run_message_size_sweep(
+            sizes=[64 * KiB, 512 * KiB], n_messages=6
+        )
+        sdr = table.column("sdr_gbps")
+        rc = table.column("rc_gbps")
+        assert sdr[0] < rc[0]           # repost overhead at 64 KiB
+        # Saturation trend at 512 KiB (short 6-message run: pipeline
+        # warm-up keeps this below the benchmark's full-size 95%).
+        assert sdr[1] > 0.7 * 400
+
+    def test_thread_scaling_small(self):
+        table = fig14.run_thread_scaling(
+            threads=[2, 8], message_bytes=2 * MiB, n_messages=4
+        )
+        gbps = table.column("sdr_gbps")
+        assert gbps[1] > 2 * gbps[0]
+
+
+class TestFig15:
+    def test_chunk_sweep_small(self):
+        table = fig15.run(
+            chunk_sizes=[4 * KiB, 64 * KiB], message_bytes=1 * MiB,
+            n_messages=4,
+        )
+        frac = table.column("frac_of_line")
+        assert all(f > 0.8 for f in frac)
+        p_chunk = table.column("p_chunk_drop")
+        assert p_chunk[1] > p_chunk[0]
+
+
+class TestFig16:
+    def test_packet_rate_scaling_small(self):
+        table = fig16.run(
+            threads=[4, 16], message_bytes=32 * KiB, n_messages=6
+        )
+        mpps = table.column("pkt_rate_mpps")
+        assert mpps[1] > 2.5 * mpps[0]

@@ -1,0 +1,124 @@
+"""Smoke tests: every figure harness runs (reduced parameters) and its
+tables carry the paper's qualitative structure.  Full-size assertions live
+in benchmarks/.
+"""
+
+import pytest
+
+from repro.common.units import GiB, KiB, MiB
+from repro.experiments import fig02, fig03, fig09, fig10, fig11, fig12, fig13
+
+
+class TestFig02:
+    def test_drop_rate_grows_with_payload(self):
+        table = fig02.run(payload_sizes=[512, 8 * KiB], trials=40, seed=0)
+        medians = table.column("median")
+        assert medians[1] > medians[0]
+
+
+class TestFig03:
+    def test_size_sweep_columns(self):
+        table = fig03.run_size_sweep(
+            sizes=[1 * MiB, 128 * MiB, 32 * GiB], p_packet=1e-5
+        )
+        sr = table.column("sr_slowdown")
+        ec = table.column("ec_slowdown")
+        # EC near-ideal at 128 MiB while SR suffers; SR wins at 32 GiB.
+        assert sr[1] > ec[1]
+        assert sr[2] < ec[2]
+
+    def test_distance_sweep_reverses_winner(self):
+        table = fig03.run_distance_sweep(distances_km=[10.0, 37500.0])
+        sr = table.column("sr_slowdown")
+        ec = table.column("ec_slowdown")
+        assert sr[0] < ec[0]   # short link: SR wins (8 GiB is "large")
+        assert sr[1] > ec[1]   # planetary link: EC wins
+
+    def test_drop_sweep_monotone_sr(self):
+        table = fig03.run_drop_sweep(drops=[1e-7, 1e-5, 1e-3])
+        sr = table.column("sr_slowdown")
+        assert sr == sorted(sr)
+
+
+class TestFig09:
+    def test_red_region_and_sr_region(self):
+        table = fig09.run(
+            sizes=[128 * MiB, 8 * GiB], drops=[1e-8, 1e-4]
+        )
+        rows = {row[0]: row[1:] for row in table.rows}
+        # 128 MiB @ 1e-4: EC speedup >> 1 (red region).
+        assert rows[128 * MiB][1] > 2.0
+        # 8 GiB @ 1e-8: SR wins (speedup < 1).
+        assert rows[8 * GiB][0] < 1.0
+
+
+class TestFig10:
+    def test_nack_improves_on_rto(self):
+        table = fig10.run_drop_sweep(
+            drops=[1e-4], size=128 * MiB, n_samples=800, seed=0
+        )
+        row = table.rows[0]
+        cols = table.columns
+        rto_mean = row[cols.index("sr_rto_mean")]
+        nack_mean = row[cols.index("sr_nack_mean")]
+        ec_mean = row[cols.index("ec_mean")]
+        assert nack_mean < rto_mean
+        assert ec_mean < nack_mean
+
+    def test_tail_exceeds_mean(self):
+        table = fig10.run_drop_sweep(
+            drops=[1e-4], size=128 * MiB, n_samples=800, seed=1
+        )
+        row = table.rows[0]
+        cols = table.columns
+        assert row[cols.index("sr_rto_p999")] >= row[cols.index("sr_rto_mean")]
+
+    def test_split_sweep_orders_by_protection(self):
+        table = fig10.run_split_sweep(
+            splits=[(32, 2), (8, 8)], drops=[1e-2], n_samples=500, seed=2
+        )
+        row = table.rows[0]
+        # At 1e-2 packet drop, the weakly-protected (32,2) split collapses
+        # while (8,8) holds.
+        assert row[1] > row[2]
+
+
+class TestFig11:
+    def test_xor_encodes_faster_than_mds(self):
+        table = fig11.run_throughput(k=8, m=4, chunk_bytes=16 * KiB)
+        rows = {r[0]: r[1:] for r in table.rows}
+        assert rows["xor"][0] > rows["mds"][0]
+        assert rows["xor"][1] <= rows["mds"][1]
+
+    def test_xor_falls_back_before_mds(self):
+        table = fig11.run_fallback(drops=[1e-4, 1e-3])
+        mds = table.column("mds_fallback")
+        xor = table.column("xor_fallback")
+        assert all(x >= m for x, m in zip(xor, mds))
+        # Around 1e-3 packet drop, XOR is likely falling back, MDS is not.
+        assert xor[1] > 0.5
+        assert mds[1] < 0.1
+
+
+class TestFig12:
+    def test_crossover_distance_shrinks_with_bandwidth(self):
+        slow = fig12.crossover_distance(bandwidth_bps=100e9)
+        fast = fig12.crossover_distance(bandwidth_bps=1.6e12)
+        assert slow is not None and fast is not None
+        assert fast <= slow
+
+    def test_table_shape(self):
+        table = fig12.run(
+            distances_km=[10.0, 37500.0], bandwidths_bps=[400e9]
+        )
+        assert table.column("sr@400G")[1] > table.column("sr@400G")[0]
+
+
+class TestFig13:
+    def test_speedup_grows_with_drop(self):
+        table = fig13.run_ring_sweep(
+            ring_sizes=[4], drops=[1e-6, 1e-3], n_samples=400, seed=0
+        )
+        speedups = table.column("N=4")
+        assert speedups[1] > speedups[0]
+        assert all(s > 1.0 for s in speedups)

@@ -1,0 +1,46 @@
+"""Report table rendering and access."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.experiments.report import Table
+
+
+class TestTable:
+    def test_add_and_column(self):
+        t = Table(title="t", columns=["a", "b"])
+        t.add_row(1, 2.5)
+        t.add_row(3, 4.5)
+        assert t.column("a") == [1, 3]
+        assert t.column("b") == [2.5, 4.5]
+
+    def test_row_arity_checked(self):
+        t = Table(title="t", columns=["a", "b"])
+        with pytest.raises(ConfigError):
+            t.add_row(1)
+
+    def test_unknown_column(self):
+        t = Table(title="t", columns=["a"])
+        with pytest.raises(ConfigError):
+            t.column("z")
+
+    def test_render_contains_everything(self):
+        t = Table(title="My Title", columns=["col"], notes="a note")
+        t.add_row(0.000123)
+        out = t.render()
+        assert "My Title" in out
+        assert "col" in out
+        assert "0.000123" in out
+        assert "a note" in out
+
+    def test_render_empty_table(self):
+        t = Table(title="empty", columns=["x", "y"])
+        assert "empty" in t.render()
+
+    def test_float_formatting(self):
+        t = Table(title="f", columns=["v"])
+        t.add_row(123456.0)
+        t.add_row(0.0)
+        out = t.render()
+        assert "1.23e+05" in out
+        assert "0" in out

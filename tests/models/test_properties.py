@@ -1,0 +1,88 @@
+"""Property-based invariants of the completion-time models."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.units import KiB
+from repro.models.ec_model import ec_expected_completion
+from repro.models.params import ModelParams, packet_to_chunk_drop
+from repro.models.sr_model import (
+    sr_completion_tail,
+    sr_expected_completion,
+)
+
+link = dict(bandwidth_bps=400e9, rtt=25e-3, chunk_bytes=64 * KiB)
+
+drops = st.sampled_from([0.0, 1e-6, 1e-4, 1e-3, 1e-2, 1e-1])
+sizes = st.integers(1, 100_000)
+
+
+@settings(max_examples=60, deadline=None)
+@given(p=drops, m=sizes)
+def test_sr_expected_at_least_ideal(p, m):
+    params = ModelParams(drop_probability=p, **link)
+    ideal = m * params.t_inj + params.rtt
+    assert sr_expected_completion(params, m) >= ideal - 1e-12
+
+
+@settings(max_examples=40, deadline=None)
+@given(m=sizes, data=st.data())
+def test_sr_expected_monotone_in_drop(m, data):
+    p1 = data.draw(drops)
+    p2 = data.draw(drops)
+    lo, hi = min(p1, p2), max(p1, p2)
+    params_lo = ModelParams(drop_probability=lo, **link)
+    params_hi = ModelParams(drop_probability=hi, **link)
+    assert (
+        sr_expected_completion(params_lo, m)
+        <= sr_expected_completion(params_hi, m) + 1e-9
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(p=drops, data=st.data())
+def test_sr_expected_monotone_in_size(p, data):
+    m1 = data.draw(sizes)
+    m2 = data.draw(sizes)
+    lo, hi = min(m1, m2), max(m1, m2)
+    params = ModelParams(drop_probability=p, **link)
+    assert (
+        sr_expected_completion(params, lo)
+        <= sr_expected_completion(params, hi) + 1e-12
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(p=drops, m=st.integers(1, 10_000), data=st.data())
+def test_sr_tail_is_valid_probability_and_monotone(p, m, data):
+    params = ModelParams(drop_probability=p, **link)
+    floor = m * params.t_inj + params.rtt
+    t1 = floor * data.draw(st.floats(0.5, 3.0))
+    t2 = floor * data.draw(st.floats(0.5, 3.0))
+    lo, hi = min(t1, t2), max(t1, t2)
+    tail_lo = sr_completion_tail(params, m, lo)
+    tail_hi = sr_completion_tail(params, m, hi)
+    assert 0.0 <= tail_hi <= tail_lo <= 1.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    p=drops,
+    m=st.integers(1, 50_000),
+    km=st.sampled_from([(32, 8), (32, 4), (16, 8), (8, 8)]),
+)
+def test_ec_expected_at_least_base_injection(p, m, km):
+    k, mm = km
+    params = ModelParams(drop_probability=p, **link)
+    parity = int(np.ceil(m / (k / mm)))
+    base = (m + parity) * params.t_inj + params.rtt
+    assert ec_expected_completion(params, m, k=k, m=mm) >= base - 1e-12
+
+
+@settings(max_examples=40, deadline=None)
+@given(p=st.sampled_from([1e-5, 1e-4, 1e-3]), n=st.integers(1, 64))
+def test_packet_to_chunk_drop_bounds(p, n):
+    pc = packet_to_chunk_drop(p, n)
+    # Union bound above, single-packet rate below.
+    assert p <= pc <= min(1.0, n * p) + 1e-12

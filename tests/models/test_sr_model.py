@@ -1,0 +1,115 @@
+"""Selective Repeat model: analytic formula vs Monte-Carlo (Appendix A)."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.common.units import KiB, MiB, GiB
+from repro.models.params import ModelParams
+from repro.models.sr_model import sr_expected_completion, sr_sample_completion
+
+
+def params(**kw):
+    defaults = dict(
+        bandwidth_bps=400e9, rtt=25e-3, chunk_bytes=64 * KiB,
+        drop_probability=1e-4,
+    )
+    defaults.update(kw)
+    return ModelParams(**defaults)
+
+
+class TestAnalytic:
+    def test_lossless_closed_form(self):
+        p = params(drop_probability=0.0)
+        m = 1000
+        assert sr_expected_completion(p, m) == pytest.approx(
+            m * p.t_inj + p.rtt
+        )
+
+    def test_single_chunk_expectation(self):
+        # For M=1: E[T] = T + O * E[Y-1] + RTT = T + O * p/(1-p) + RTT.
+        p = params(drop_probability=0.1)
+        expected = p.t_inj + p.retransmission_overhead * (0.1 / 0.9) + p.rtt
+        assert sr_expected_completion(p, 1) == pytest.approx(expected, rel=1e-3)
+
+    def test_monotone_in_drop_rate(self):
+        m = 2048
+        times = [
+            sr_expected_completion(params(drop_probability=p), m)
+            for p in (0.0, 1e-6, 1e-4, 1e-2, 0.1)
+        ]
+        assert times == sorted(times)
+        assert times[-1] > times[0]
+
+    def test_monotone_in_message_size(self):
+        p = params()
+        times = [sr_expected_completion(p, m) for m in (1, 10, 100, 1000)]
+        assert times == sorted(times)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigError):
+            sr_expected_completion(params(), 0)
+        with pytest.raises(ConfigError):
+            sr_sample_completion(params(), 10, n_samples=0)
+
+
+class TestMonteCarlo:
+    def test_lossless_samples_are_deterministic(self):
+        p = params(drop_probability=0.0)
+        samples = sr_sample_completion(p, 100, 50)
+        assert np.allclose(samples, 100 * p.t_inj + p.rtt)
+
+    def test_samples_bounded_below_by_ideal(self):
+        p = params(drop_probability=1e-3)
+        samples = sr_sample_completion(p, 500, 500, rng=np.random.default_rng(0))
+        assert (samples >= 500 * p.t_inj + p.rtt - 1e-12).all()
+
+    @pytest.mark.parametrize(
+        "size,p_drop",
+        [
+            (128 * MiB, 1e-5),
+            (128 * MiB, 1e-3),
+            (1 * GiB, 1e-4),
+            (8 * MiB, 1e-2),
+        ],
+    )
+    def test_paper_validation_mc_matches_analytic_within_5pct(self, size, p_drop):
+        """Section 5.1.1: '1000 samples ... matches the analytical solution
+        within 5% accuracy'."""
+        p = params(drop_probability=p_drop)
+        m = p.chunks_in(size)
+        analytic = sr_expected_completion(p, m)
+        mc = sr_sample_completion(p, m, 4000, rng=np.random.default_rng(1)).mean()
+        assert mc == pytest.approx(analytic, rel=0.05)
+
+    def test_tail_exceeds_mean_under_loss(self):
+        p = params(drop_probability=1e-3)
+        samples = sr_sample_completion(p, 2048, 4000, rng=np.random.default_rng(2))
+        assert np.percentile(samples, 99.9) > samples.mean()
+
+    def test_reproducible_with_seeded_rng(self):
+        p = params()
+        a = sr_sample_completion(p, 100, 10, rng=np.random.default_rng(3))
+        b = sr_sample_completion(p, 100, 10, rng=np.random.default_rng(3))
+        assert np.array_equal(a, b)
+
+
+class TestShape:
+    def test_peak_slowdown_at_critical_size(self):
+        """Fig 3a: slowdown peaks near 1/P chunks, then declines for large
+        messages where injection dominates."""
+        p = params(drop_probability=1e-4)
+        critical = int(1 / p.drop_probability)  # chunks
+        sizes = [critical // 100, critical, critical * 100]
+        slowdowns = []
+        for m in sizes:
+            ideal = m * p.t_inj + p.rtt
+            slowdowns.append(sr_expected_completion(p, m) / ideal)
+        assert slowdowns[1] > slowdowns[0]
+        assert slowdowns[1] > slowdowns[2]
+
+    def test_retransmission_overhead_scales_with_rto(self):
+        m = 2048
+        fast = sr_expected_completion(params(rto_rtts=1.0), m)
+        slow = sr_expected_completion(params(rto_rtts=3.0), m)
+        assert slow > fast

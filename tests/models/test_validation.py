@@ -1,0 +1,55 @@
+"""Cross-validation: the packet-level DES against the analytic model.
+
+The completion-time model is chunk-granular and ignores protocol overheads
+(clear-to-send, ACK polling cadence, repost cost); the DES implements all of
+them.  These tests pin the two within loose but meaningful bounds, the
+repo-level analogue of the paper's model-vs-simulation validation.
+"""
+
+import pytest
+
+from repro.common.units import KiB
+from repro.models.params import ModelParams
+from repro.models.sr_model import sr_expected_completion
+from repro.reliability.sr import SrConfig
+
+from tests.reliability.conftest import make_sr
+
+
+@pytest.mark.parametrize("drop,seed", [(0.0, 0), (0.02, 5)])
+def test_des_sr_completion_brackets_model(drop, seed):
+    chunk = 8 * KiB
+    pair, sender, receiver = make_sr(
+        drop=drop, seed=seed, chunk=chunk,
+        config=SrConfig(nack_enabled=False, rto_rtts=3.0),
+    )
+    size = 512 * KiB
+    mr = pair.ctx_b.mr_reg(size)
+    receiver.post_receive(mr, size)
+    ticket = sender.write(size)
+    pair.sim.run(ticket.done)
+
+    params = ModelParams.from_channel(
+        pair.channel, chunk_bytes=chunk, rto_rtts=3.0
+    )
+    model = sr_expected_completion(params, params.chunks_in(size))
+    ideal = params.ideal_completion(size)
+    # DES can never beat the lossless floor (a lucky seed may see zero
+    # drops, so the floor -- not the lossy model mean -- is the bound),
+    # and stays within the model plus protocol overheads (CTS 0.5 RTT,
+    # repost, ACK poll cadence, per-drop variance).
+    assert ticket.completion_time >= ideal * 0.5
+    assert ticket.completion_time <= model * 2.0 + 2 * pair.channel.rtt
+
+
+def test_des_lossless_matches_ideal_closely():
+    pair, sender, receiver = make_sr()
+    size = 1024 * KiB
+    mr = pair.ctx_b.mr_reg(size)
+    receiver.post_receive(mr, size)
+    ticket = sender.write(size)
+    pair.sim.run(ticket.done)
+    params = ModelParams.from_channel(pair.channel, chunk_bytes=8 * KiB)
+    ideal = params.ideal_completion(size)
+    # Within 60% of ideal despite CTS and ACK-cadence overheads.
+    assert ticket.completion_time == pytest.approx(ideal, rel=0.6)

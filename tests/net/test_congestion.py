@@ -1,0 +1,76 @@
+"""Bounded switch buffers: load-dependent tail drops."""
+
+import numpy as np
+import pytest
+
+from repro.common.config import ChannelConfig
+from repro.common.errors import ConfigError
+from repro.common.units import KiB
+from repro.net.channel import Channel
+from repro.net.packet import Opcode, Packet
+from repro.sim.engine import Simulator
+
+
+def make(buffer_kib, bandwidth=10e9):
+    sim = Simulator()
+    cfg = ChannelConfig(
+        bandwidth_bps=bandwidth, distance_km=1.0, mtu_bytes=4 * KiB,
+        buffer_bytes=buffer_kib * KiB,
+    )
+    ch = Channel(sim, cfg, rng=np.random.default_rng(0))
+    got = []
+    ch.attach_sink(lambda p: got.append(p))
+    return sim, ch, got
+
+
+def pkt():
+    return Packet(dst_qpn=1, opcode=Opcode.WRITE_ONLY, length=4 * KiB)
+
+
+class TestTailDrop:
+    def test_burst_overflows_buffer(self):
+        sim, ch, got = make(buffer_kib=16)  # 4-packet buffer
+        for _ in range(20):
+            ch.transmit(pkt())  # instantaneous burst
+        sim.run()
+        # ~5 packets fit (one serializing + 4 queued); the rest tail-drop.
+        assert ch.stats.tail_drops >= 14
+        assert len(got) == 20 - ch.stats.tail_drops
+
+    def test_paced_traffic_never_drops(self):
+        sim, ch, got = make(buffer_kib=16)
+        gap = 4 * KiB / ch.config.bytes_per_second
+
+        def sender():
+            for _ in range(20):
+                ch.transmit(pkt())
+                yield sim.timeout(gap)  # exactly line rate
+
+        sim.process(sender())
+        sim.run()
+        assert ch.stats.tail_drops == 0
+        assert len(got) == 20
+
+    def test_drop_rate_grows_with_offered_load(self):
+        """The Figure 2 congestion story: loss correlates with load."""
+        rates = []
+        for burst in (6, 12, 48):
+            sim, ch, got = make(buffer_kib=16)
+            for _ in range(burst):
+                ch.transmit(pkt())
+            sim.run()
+            rates.append(ch.stats.tail_drops / burst)
+        assert rates == sorted(rates)
+        assert rates[0] < rates[-1]
+
+    def test_unbounded_buffer_never_tail_drops(self):
+        sim, ch, got = make(buffer_kib=0)
+        for _ in range(1000):
+            ch.transmit(pkt())
+        sim.run()
+        assert ch.stats.tail_drops == 0
+        assert len(got) == 1000
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            ChannelConfig(buffer_bytes=-1)

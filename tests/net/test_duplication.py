@@ -1,0 +1,67 @@
+"""In-network packet duplication: channels duplicate, protocols dedup."""
+
+import numpy as np
+import pytest
+
+from repro.common.config import ChannelConfig
+from repro.common.errors import ConfigError
+from repro.common.units import KiB
+from repro.net.channel import Channel
+from repro.net.packet import Opcode, Packet
+from repro.sdr.qp import SdrRecvWr, SdrSendWr
+from repro.sim.engine import Simulator
+
+from tests.conftest import make_sdr_pair
+
+
+class TestChannelDuplication:
+    def test_duplicates_delivered_twice(self):
+        sim = Simulator()
+        cfg = ChannelConfig(
+            bandwidth_bps=100e9, distance_km=1.0, mtu_bytes=4 * KiB,
+            duplicate_probability=0.5,
+        )
+        ch = Channel(sim, cfg, rng=np.random.default_rng(0))
+        got = []
+        ch.attach_sink(lambda p: got.append(p.uid))
+        n = 1000
+        for _ in range(n):
+            ch.transmit(
+                Packet(dst_qpn=1, opcode=Opcode.WRITE_ONLY, length=4 * KiB)
+            )
+        sim.run()
+        assert ch.stats.packets_duplicated == pytest.approx(n * 0.5, rel=0.15)
+        assert len(got) == n + ch.stats.packets_duplicated
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            ChannelConfig(duplicate_probability=1.0)
+
+
+class TestSdrIdempotence:
+    def test_duplicated_packets_do_not_corrupt_bitmaps(self):
+        """Dup packets count as duplicates; chunks complete exactly once."""
+        pair = make_sdr_pair(seed=4)
+        # Rebuild with duplication: easiest is direct config on a new pair.
+        pair = make_sdr_pair(seed=4, jitter=0.0)
+        # Inject duplication by swapping the channel config.
+        from dataclasses import replace
+
+        link = pair.fabric.links[("dc-a", "dc-b")]
+        link.forward.config = replace(
+            link.forward.config, duplicate_probability=0.3
+        )
+        size = 256 * KiB
+        payload = np.random.default_rng(0).integers(
+            0, 256, size, dtype=np.uint8
+        ).tobytes()
+        buf = bytearray(size)
+        mr = pair.ctx_b.mr_reg(size, data=buf)
+        rh = pair.qp_b.recv_post(SdrRecvWr(mr=mr, length=size))
+        pair.qp_a.send_post(SdrSendWr(length=size, payload=payload))
+        pair.sim.run(rh.wait_all_chunks())
+        pair.sim.run()
+        assert bytes(buf) == payload
+        assert rh.duplicate_packets > 0
+        assert rh.packet_bitmap.count() == rh.npackets
+        assert rh.chunk_bitmap.count() == rh.nchunks  # no double-publish

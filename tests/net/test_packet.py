@@ -1,0 +1,40 @@
+"""Packet invariants."""
+
+import pytest
+
+from repro.net.packet import Opcode, Packet
+
+
+class TestPacket:
+    def test_payload_length_must_match(self):
+        with pytest.raises(ValueError):
+            Packet(dst_qpn=1, opcode=Opcode.WRITE_ONLY, length=4, payload=b"abcde")
+
+    def test_immediate_must_fit_32_bits(self):
+        with pytest.raises(ValueError):
+            Packet(
+                dst_qpn=1,
+                opcode=Opcode.WRITE_ONLY_IMM,
+                length=4,
+                immediate=2**32,
+            )
+
+    def test_uids_are_unique(self):
+        a = Packet(dst_qpn=1, opcode=Opcode.WRITE_ONLY, length=1)
+        b = Packet(dst_qpn=1, opcode=Opcode.WRITE_ONLY, length=1)
+        assert a.uid != b.uid
+
+    @pytest.mark.parametrize(
+        "opcode,carries",
+        [
+            (Opcode.WRITE_ONLY, False),
+            (Opcode.WRITE_ONLY_IMM, True),
+            (Opcode.WRITE_LAST_IMM, True),
+            (Opcode.WRITE_LAST, False),
+            (Opcode.UD_SEND, True),
+            (Opcode.ACK, False),
+        ],
+    )
+    def test_carries_immediate(self, opcode, carries):
+        p = Packet(dst_qpn=1, opcode=opcode, length=1)
+        assert p.carries_immediate is carries

@@ -1,0 +1,46 @@
+"""Protocol-level fixtures: SR and EC endpoint pairs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.reliability.ec import EcConfig, EcReceiver, EcSender
+from repro.reliability.sr import SrConfig, SrReceiver, SrSender
+
+from tests.conftest import SdrPair, make_sdr_pair
+
+
+def make_sr(
+    *,
+    drop: float = 0.0,
+    config: SrConfig | None = None,
+    seed: int = 0,
+    **pair_kw,
+) -> tuple[SdrPair, SrSender, SrReceiver]:
+    pair = make_sdr_pair(drop=drop, seed=seed, **pair_kw)
+    cfg = config if config is not None else SrConfig()
+    sender = SrSender(pair.qp_a, pair.ctrl_a, cfg)
+    receiver = SrReceiver(pair.qp_b, pair.ctrl_b, cfg)
+    return pair, sender, receiver
+
+
+def make_ec(
+    *,
+    drop: float = 0.0,
+    config: EcConfig | None = None,
+    seed: int = 0,
+    inflight: int = 64,
+    **pair_kw,
+) -> tuple[SdrPair, EcSender, EcReceiver]:
+    pair = make_sdr_pair(drop=drop, seed=seed, inflight=inflight, **pair_kw)
+    cfg = config if config is not None else EcConfig(k=8, m=4)
+    sender = EcSender(pair.qp_a, pair.ctrl_a, cfg)
+    receiver = EcReceiver(pair.qp_b, pair.ctrl_b, cfg)
+    return pair, sender, receiver
+
+
+def random_payload(size: int, seed: int = 0) -> bytes:
+    return np.random.default_rng(seed).integers(
+        0, 256, size, dtype=np.uint8
+    ).tobytes()

@@ -1,0 +1,143 @@
+"""Adaptive per-connection reliability provisioning."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.common.units import KiB, MiB
+from repro.reliability.adaptive import (
+    AdaptiveReceiver,
+    AdaptiveSender,
+    DropRateEstimator,
+    ProtocolAdvisor,
+)
+from repro.reliability.ec import EcConfig
+
+from tests.conftest import make_sdr_pair
+from tests.reliability.conftest import random_payload
+
+
+def make_adaptive(*, drop=0.0, seed=0, initial_estimate=1e-6, **pair_kw):
+    pair = make_sdr_pair(drop=drop, seed=seed, inflight=64, **pair_kw)
+    ec_cfg = EcConfig(codec="mds", k=8, m=4)
+    sender = AdaptiveSender(pair.qp_a, pair.ctrl_a, ec_config=ec_cfg)
+    receiver = AdaptiveReceiver(
+        pair.qp_b,
+        pair.ctrl_b,
+        ec_config=ec_cfg,
+        estimator=DropRateEstimator(initial=initial_estimate),
+    )
+    return pair, sender, receiver
+
+
+class TestAdvisor:
+    def advisor(self):
+        return ProtocolAdvisor(
+            bandwidth_bps=400e9, rtt=25e-3, chunk_bytes=64 * KiB
+        )
+
+    def test_clean_large_message_prefers_sr(self):
+        best = self.advisor().best(64 * 1024 * MiB, 1e-8)
+        assert best.name == "sr_rto"
+
+    def test_lossy_medium_message_prefers_ec(self):
+        best = self.advisor().best(128 * MiB, 1e-3)
+        assert best.name.startswith("ec")
+
+    def test_rank_is_sorted(self):
+        ranked = self.advisor().rank(128 * MiB, 1e-4)
+        times = [r.expected_seconds for r in ranked]
+        assert times == sorted(times)
+
+    def test_empty_menu_rejected(self):
+        with pytest.raises(ConfigError):
+            ProtocolAdvisor(
+                bandwidth_bps=1e9, rtt=1e-3, chunk_bytes=1024, ec_menu=()
+            )
+
+
+class TestEstimator:
+    def test_ewma_converges(self):
+        est = DropRateEstimator(initial=0.0, alpha=0.5)
+        for _ in range(20):
+            est.observe(10, 100)
+        assert est.estimate == pytest.approx(0.1, rel=0.01)
+        assert est.observations == 20
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            DropRateEstimator(alpha=0.0)
+        with pytest.raises(ConfigError):
+            DropRateEstimator().observe(1, 0)
+
+
+class TestEndToEnd:
+    def test_clean_link_uses_sr_and_delivers(self):
+        pair, sender, receiver = make_adaptive()
+        size = 256 * KiB
+        payload = random_payload(size)
+        buf = bytearray(size)
+        mr = pair.ctx_b.mr_reg(size, data=buf)
+        receiver.post_receive(mr, size)
+        ticket = sender.write(size, payload)
+        pair.sim.run(ticket.done)
+        assert bytes(buf) == payload
+        assert receiver.protocol_history == ["sr"]
+        assert sender.protocol_history == ["sr"]
+
+    def test_high_estimate_provisions_ec(self):
+        pair, sender, receiver = make_adaptive(
+            drop=0.01, seed=5, initial_estimate=0.05
+        )
+        size = 512 * KiB
+        payload = random_payload(size, 5)
+        buf = bytearray(size)
+        mr = pair.ctx_b.mr_reg(size, data=buf)
+        receiver.post_receive(mr, size)
+        ticket = sender.write(size, payload)
+        pair.sim.run(ticket.done)
+        assert bytes(buf) == payload
+        assert receiver.protocol_history == ["ec"]
+        assert sender.protocol_history == ["ec"]
+
+    def test_sender_and_receiver_always_agree(self):
+        """Provision messages keep both endpoints in lock-step even as the
+        estimate moves across the SR/EC boundary."""
+        pair, sender, receiver = make_adaptive(drop=0.02, seed=9)
+        size = 256 * KiB
+        mr = pair.ctx_b.mr_reg(size)
+        tickets = []
+        for _ in range(4):
+            receiver.post_receive(mr, size)
+            tickets.append(sender.write(size))
+        pair.sim.run(pair.sim.all_of([t.done for t in tickets]))
+        assert sender.protocol_history == receiver.protocol_history
+        assert all(t.finish_time is not None for t in tickets)
+
+    def test_estimator_learns_from_loss(self):
+        pair, sender, receiver = make_adaptive(drop=0.05, seed=11)
+        size = 512 * KiB
+        mr = pair.ctx_b.mr_reg(size)
+        before = receiver.estimator.estimate
+        receiver.post_receive(mr, size)
+        ticket = sender.write(size)
+        pair.sim.run(ticket.done)
+        assert receiver.estimator.observations == 1
+        assert receiver.estimator.estimate > before
+
+    def test_adaptation_switches_protocol_over_time(self):
+        """Start with a clean-link estimate; sustained loss should flip the
+        receiver's choice from SR to EC within a few messages."""
+        pair, sender, receiver = make_adaptive(
+            drop=0.05, seed=13, initial_estimate=1e-6
+        )
+        size = 512 * KiB
+        mr = pair.ctx_b.mr_reg(size)
+        tickets = []
+        for _ in range(5):
+            receiver.post_receive(mr, size)
+            t = sender.write(size)
+            pair.sim.run(t.done)
+            tickets.append(t)
+        assert receiver.protocol_history[0] == "sr"
+        assert "ec" in receiver.protocol_history
+        assert sender.protocol_history == receiver.protocol_history

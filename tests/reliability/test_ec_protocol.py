@@ -1,0 +1,152 @@
+"""Erasure Coding protocol end-to-end (parity recovery, FTO, fallback)."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.common.units import KiB, MiB
+from repro.reliability.ec import EcConfig
+
+from tests.reliability.conftest import make_ec, random_payload
+
+
+class TestLossless:
+    def test_completes_without_fallback(self):
+        pair, sender, receiver = make_ec()
+        size = 256 * KiB
+        mr = pair.ctx_b.mr_reg(size)
+        receiver.post_receive(mr, size)
+        ticket = sender.write(size)
+        pair.sim.run(ticket.done)
+        assert not ticket.fell_back_to_sr
+        assert ticket.retransmitted_chunks == 0
+        assert receiver.submessages_decoded == 0
+
+    def test_data_integrity(self):
+        pair, sender, receiver = make_ec()
+        size = 192 * KiB
+        payload = random_payload(size, 1)
+        buf = bytearray(size)
+        mr = pair.ctx_b.mr_reg(size, data=buf)
+        receiver.post_receive(mr, size)
+        ticket = sender.write(size, payload)
+        pair.sim.run(ticket.done)
+        assert bytes(buf) == payload
+
+    def test_tail_submessage_smaller_than_one_chunk(self):
+        """Regression (found by fuzzing): a message whose final submessage
+        holds less than one full chunk must encode/decode cleanly."""
+        pair, sender, receiver = make_ec(drop=0.02, seed=3)
+        size = 65 * KiB  # chunks of 8 KiB -> 9 chunks; k=8 -> tail sub = 1 KiB
+        payload = random_payload(size, 9)
+        buf = bytearray(size)
+        mr = pair.ctx_b.mr_reg(size, data=buf)
+        receiver.post_receive(mr, size)
+        ticket = sender.write(size, payload)
+        pair.sim.run(ticket.done)
+        assert bytes(buf) == payload
+
+    def test_parity_overhead_on_wire(self):
+        """EC ships ~k/m extra bytes even with no losses (Figure 3a tail)."""
+        pair, sender, receiver = make_ec(config=EcConfig(k=8, m=2))
+        size = 512 * KiB
+        mr = pair.ctx_b.mr_reg(size)
+        receiver.post_receive(mr, size)
+        ticket = sender.write(size)
+        pair.sim.run(ticket.done)
+        sent = pair.fabric.links[("dc-a", "dc-b")].forward.stats.bytes_offered
+        assert sent >= size * 1.25 * 0.95  # data + 25% parity (minus ctrl)
+
+
+class TestRecovery:
+    def test_drops_recovered_in_place_without_retransmission(self):
+        """Moderate loss: parity absorbs the drops; no chunks re-sent."""
+        pair, sender, receiver = make_ec(drop=0.02, seed=7)
+        size = 1 * MiB
+        payload = random_payload(size, 2)
+        buf = bytearray(size)
+        mr = pair.ctx_b.mr_reg(size, data=buf)
+        receiver.post_receive(mr, size)
+        ticket = sender.write(size, payload)
+        pair.sim.run(ticket.done)
+        dropped = pair.fabric.links[("dc-a", "dc-b")].forward.stats.packets_dropped
+        assert dropped > 0
+        assert bytes(buf) == payload
+        assert receiver.submessages_decoded > 0
+        assert not ticket.fell_back_to_sr
+
+    def test_xor_codec_end_to_end(self):
+        pair, sender, receiver = make_ec(
+            drop=0.01, seed=8, config=EcConfig(codec="xor", k=8, m=4)
+        )
+        size = 1 * MiB
+        payload = random_payload(size, 3)
+        buf = bytearray(size)
+        mr = pair.ctx_b.mr_reg(size, data=buf)
+        receiver.post_receive(mr, size)
+        ticket = sender.write(size, payload)
+        pair.sim.run(ticket.done)
+        assert bytes(buf) == payload
+
+
+class TestFallback:
+    def test_heavy_loss_falls_back_to_sr(self):
+        """Drops beyond parity tolerance trigger FTO + selective repeat."""
+        pair, sender, receiver = make_ec(
+            drop=0.3, seed=11, config=EcConfig(codec="mds", k=8, m=2)
+        )
+        size = 512 * KiB
+        payload = random_payload(size, 4)
+        buf = bytearray(size)
+        mr = pair.ctx_b.mr_reg(size, data=buf)
+        receiver.post_receive(mr, size)
+        ticket = sender.write(size, payload)
+        pair.sim.run(ticket.done)
+        assert ticket.fell_back_to_sr
+        assert ticket.retransmitted_chunks > 0
+        assert receiver.nacks_sent > 0
+        assert bytes(buf) == payload
+
+    def test_fallback_time_includes_fto(self):
+        pair, sender, receiver = make_ec(
+            drop=0.3, seed=12, config=EcConfig(codec="mds", k=8, m=2)
+        )
+        size = 256 * KiB
+        mr = pair.ctx_b.mr_reg(size)
+        receiver.post_receive(mr, size)
+        ticket = sender.write(size)
+        pair.sim.run(ticket.done)
+        assert ticket.fell_back_to_sr
+        # Completion must exceed base send + FTO slack (beta RTT).
+        base = size * 1.5 / pair.channel.bytes_per_second
+        assert ticket.completion_time > base + pair.channel.rtt
+
+
+class TestConfiguration:
+    def test_receive_needs_enough_sdr_slots(self):
+        pair, sender, receiver = make_ec(inflight=4)
+        # 1 MiB / 8 KiB chunks = 128 chunks; k=8 -> 16 submessages -> 32 slots.
+        mr = pair.ctx_b.mr_reg(1 * MiB)
+        with pytest.raises(ConfigError):
+            receiver.post_receive(mr, 1 * MiB)
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigError):
+            EcConfig(k=0)
+        with pytest.raises(ConfigError):
+            EcConfig(encode_bps=0)
+        with pytest.raises(ConfigError):
+            EcConfig(fallback_interval_rtts=0)
+
+    def test_encode_budget_delays_parity(self):
+        """A slow encoder throttles parity injection but not correctness."""
+        slow = EcConfig(k=8, m=4, encode_bps=2e9)  # ~2 Gbit/s encode
+        pair, sender, receiver = make_ec(config=slow)
+        size = 256 * KiB
+        mr = pair.ctx_b.mr_reg(size)
+        receiver.post_receive(mr, size)
+        ticket = sender.write(size)
+        pair.sim.run(ticket.done)
+        assert not ticket.failed
+        # Encoding all data at 2 Gbit/s takes longer than wire injection at
+        # 100 Gbit/s, so completion is encode-bound.
+        assert ticket.completion_time > size * 8 / 2e9 * 0.9

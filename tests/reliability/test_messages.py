@@ -1,0 +1,106 @@
+"""Control-message wire formats."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.bitmap import Bitmap
+from repro.common.errors import ProtocolError
+from repro.reliability.messages import (
+    Ack,
+    Done,
+    EcAck,
+    EcNack,
+    SrNack,
+    decode_message,
+)
+
+
+class TestRoundtrips:
+    def test_ack(self):
+        ack = Ack(msg_seq=7, cumulative=12, window_start=8, window=b"\xf0\x01")
+        decoded = decode_message(ack.pack())
+        assert decoded == ack
+
+    def test_sr_nack(self):
+        nack = SrNack(msg_seq=3, chunks=(1, 5, 9))
+        assert decode_message(nack.pack()) == nack
+
+    def test_sr_nack_empty(self):
+        nack = SrNack(msg_seq=0, chunks=())
+        assert decode_message(nack.pack()) == nack
+
+    def test_ec_ack(self):
+        assert decode_message(EcAck(msg_seq=9).pack()) == EcAck(msg_seq=9)
+
+    def test_ec_nack(self):
+        nack = EcNack(
+            msg_seq=2, failed_submessages=(0, 3), missing_chunks=(1, 97, 98)
+        )
+        assert decode_message(nack.pack()) == nack
+
+    def test_done(self):
+        assert decode_message(Done(msg_seq=4).pack()) == Done(msg_seq=4)
+
+    def test_trailing_padding_tolerated(self):
+        # ControlPath pads datagrams to a minimum wire size.
+        raw = EcAck(msg_seq=1).pack() + b"\x00" * 50
+        assert decode_message(raw) == EcAck(msg_seq=1)
+
+
+class TestValidation:
+    def test_too_short(self):
+        with pytest.raises(ProtocolError):
+            decode_message(b"\x01")
+
+    def test_unknown_type(self):
+        with pytest.raises(ProtocolError):
+            decode_message(b"\xee" + b"\x00" * 10)
+
+    def test_truncated_ack_window(self):
+        ack = Ack(msg_seq=1, cumulative=0, window_start=0, window=b"\xff" * 8)
+        with pytest.raises(ProtocolError):
+            decode_message(ack.pack()[:-4])
+
+
+class TestAckedChunks:
+    def test_cumulative_only(self):
+        ack = Ack(msg_seq=0, cumulative=5)
+        assert ack.acked_chunks(10) == {0, 1, 2, 3, 4}
+
+    def test_cumulative_clamped_to_nchunks(self):
+        ack = Ack(msg_seq=0, cumulative=100)
+        assert ack.acked_chunks(4) == {0, 1, 2, 3}
+
+    def test_window_bits(self):
+        # Window byte 0 covers chunks 8..15; bits 1 and 3 -> 9 and 11.
+        ack = Ack(msg_seq=0, cumulative=8, window_start=8, window=b"\x0a")
+        assert ack.acked_chunks(16) == set(range(8)) | {9, 11}
+
+    def test_window_bits_beyond_nchunks_ignored(self):
+        ack = Ack(msg_seq=0, cumulative=0, window_start=0, window=b"\xff")
+        assert ack.acked_chunks(3) == {0, 1, 2}
+
+
+@settings(max_examples=80)
+@given(nbits=st.integers(1, 128), data=st.data())
+def test_property_ack_reflects_receiver_bitmap(nbits, data):
+    """An ACK built the way SrReceiver builds it reports exactly the set
+    bits reachable through cumulative + window encoding."""
+    indices = data.draw(st.lists(st.integers(0, nbits - 1), max_size=nbits))
+    bm = Bitmap.from_indices(nbits, indices)
+    cumulative = bm.cumulative()
+    window = bm.to_bytes(start_bit=cumulative, max_bytes=64)
+    ack = Ack(
+        msg_seq=0,
+        cumulative=cumulative,
+        window_start=(cumulative // 8) * 8,
+        window=window,
+    )
+    acked = ack.acked_chunks(nbits)
+    truly_set = set(bm.set_indices().tolist())
+    # Everything acked is truly received (no false positives)...
+    assert acked <= truly_set | set(range(cumulative))
+    # ...and with a 64-byte window covering 512 bits >= nbits, everything
+    # received is acked.
+    assert acked == truly_set

@@ -1,0 +1,63 @@
+"""CLI entry points."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestPlan:
+    def test_plan_prints_ranking(self, capsys):
+        assert main(
+            ["plan", "--size-mib", "16", "--drop", "1e-4", "--samples", "200"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Reliability plan" in out
+        assert "recommended:" in out
+        assert "SR RTO" in out
+        assert "EC MDS(32,8)" in out
+
+    def test_plan_lossy_recommends_ec(self, capsys):
+        main(["plan", "--size-mib", "128", "--drop", "1e-3", "--samples", "200"])
+        out = capsys.readouterr().out
+        recommended = out.strip().splitlines()[-1]
+        assert "EC" in recommended
+
+    def test_plan_clean_large_recommends_sr(self, capsys):
+        main(
+            ["plan", "--size-mib", "65536", "--drop", "1e-9",
+             "--samples", "100"]
+        )
+        out = capsys.readouterr().out
+        recommended = out.strip().splitlines()[-1]
+        assert "SR" in recommended
+
+
+class TestModel:
+    def test_model_point(self, capsys):
+        assert main(["model", "--size-mib", "32", "--samples", "300"]) == 0
+        out = capsys.readouterr().out
+        assert "Model point" in out
+        assert "SR RTO" in out
+
+
+class TestCampaign:
+    def test_campaign_runs(self, capsys):
+        assert main(["campaign", "--trials", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 2" in out
+
+
+class TestExperiments:
+    def test_experiments_subset(self, capsys):
+        assert main(["experiments", "fig12"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 12" in out
+
+    def test_experiments_unknown_figure(self, capsys):
+        assert main(["experiments", "fig99"]) == 2
+
+
+class TestParser:
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

@@ -1,0 +1,67 @@
+"""Completion queue semantics."""
+
+import pytest
+
+from repro.common.errors import ResourceError
+from repro.net.packet import Opcode
+from repro.sim.engine import Simulator
+from repro.verbs.cq import CompletionQueue, Cqe
+
+
+def cqe(qpn=1, imm=None):
+    return Cqe(
+        qpn=qpn, opcode=Opcode.WRITE_ONLY_IMM, byte_len=64, timestamp=0.0,
+        immediate=imm,
+    )
+
+
+class TestCq:
+    def test_push_poll_fifo(self):
+        cq = CompletionQueue(Simulator())
+        for i in range(3):
+            cq.push(cqe(imm=i))
+        got = cq.poll(max_entries=10)
+        assert [c.immediate for c in got] == [0, 1, 2]
+        assert len(cq) == 0
+
+    def test_poll_limit(self):
+        cq = CompletionQueue(Simulator())
+        for i in range(5):
+            cq.push(cqe())
+        assert len(cq.poll(max_entries=2)) == 2
+        assert len(cq) == 3
+
+    def test_poll_invalid_limit(self):
+        with pytest.raises(ResourceError):
+            CompletionQueue(Simulator()).poll(0)
+
+    def test_capacity_overflow_counted(self):
+        cq = CompletionQueue(Simulator(), capacity=2)
+        for _ in range(4):
+            cq.push(cqe())
+        assert len(cq) == 2
+        assert cq.overflows == 2
+        assert cq.total_posted == 2
+
+    def test_listener_invoked(self):
+        cq = CompletionQueue(Simulator())
+        seen = []
+        cq.attach(lambda q: seen.append(len(q)))
+        cq.push(cqe())
+        assert seen == [1]
+
+    def test_wait_nonempty_fires_immediately_if_pending(self):
+        sim = Simulator()
+        cq = CompletionQueue(sim)
+        cq.push(cqe())
+        ev = cq.wait_nonempty()
+        assert ev.triggered
+
+    def test_wait_nonempty_fires_on_push(self):
+        sim = Simulator()
+        cq = CompletionQueue(sim)
+        ev = cq.wait_nonempty()
+        assert not ev.triggered
+        sim.call_in(1.0, lambda: cq.push(cqe()))
+        sim.run(ev)
+        assert sim.now == pytest.approx(1.0)
