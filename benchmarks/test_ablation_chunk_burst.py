@@ -37,9 +37,7 @@ def test_ablation_chunk_size_masks_bursts(benchmark):
         avg = ge.average_loss_rate
         iid = BernoulliLoss(avg)
         sizes = np.full(N_PACKETS, 4096)
-        ge_mask = np.array(
-            [ge.drops(rng, 4096) for _ in range(N_PACKETS)], dtype=bool
-        )
+        ge_mask = ge.drop_mask(rng, sizes)
         iid_mask = iid.drop_mask(rng, sizes)
         table = Table(
             title=(

@@ -17,8 +17,6 @@ Layer map (bottom to top):
 * :mod:`repro.experiments` -- one harness per paper figure/table.
 """
 
-__version__ = "1.0.0"
-
 from repro.common import (
     Bitmap,
     ChannelConfig,
@@ -27,6 +25,8 @@ from repro.common import (
     default_wan_channel,
 )
 from repro.sim import Simulator
+
+__version__ = "1.0.0"
 
 __all__ = [
     "Bitmap",

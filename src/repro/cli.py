@@ -6,6 +6,8 @@ Commands:
   "design and tune the reliability layer" use case).
 * ``model``       -- evaluate the SR/EC completion-time models at one point.
 * ``campaign``    -- run the synthetic WAN drop-rate campaign (Figure 2).
+* ``report``      -- run one simulated WAN transfer and summarize its
+  telemetry registry per layer (optionally dumping the trace).
 * ``experiments`` -- regenerate paper figures (delegates to
   :mod:`repro.experiments.__main__`).
 """
@@ -15,6 +17,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.common.errors import ConfigError
 from repro.common.units import KiB, MiB, distance_to_rtt
 from repro.experiments.report import Table
 from repro.models.decode_prob import p_decode_mds, p_decode_xor, p_fallback
@@ -143,6 +146,58 @@ def cmd_campaign(args) -> int:
     return 0
 
 
+def cmd_report(args) -> int:
+    from repro.telemetry import ChromeTraceSink, JsonlSink, Telemetry
+    from repro.telemetry.demo import run_demo
+    from repro.telemetry.report import render_report
+
+    sinks = []
+    chrome = jsonl = None
+    if args.trace:
+        chrome = ChromeTraceSink()
+        sinks.append(chrome)
+    if args.trace_jsonl:
+        jsonl = JsonlSink(args.trace_jsonl)
+        sinks.append(jsonl)
+    telemetry = Telemetry(trace=bool(sinks), trace_sinks=sinks)
+    result = run_demo(
+        protocol=args.protocol,
+        messages=args.messages,
+        message_bytes=int(args.size_mib * MiB),
+        drop=args.drop,
+        bandwidth_bps=args.bandwidth_gbps * 1e9,
+        distance_km=args.distance_km,
+        mtu_bytes=int(args.mtu_kib * KiB),
+        chunk_bytes=int(args.chunk_kib * KiB),
+        seed=args.seed,
+        nack=args.nack,
+        telemetry=telemetry,
+    )
+    summary = Table(
+        title=(
+            f"Run summary: {args.messages} x {args.size_mib:g} MiB via "
+            f"{args.protocol.upper()} over {args.distance_km:g} km, "
+            f"P_pkt={args.drop:g}"
+        ),
+        columns=["protocol", "messages", "elapsed_s", "goodput_gbps", "metrics"],
+    )
+    summary.add_row(
+        result.protocol, result.messages, round(result.elapsed, 6),
+        round(result.goodput_gbps, 3), len(result.telemetry.metrics),
+    )
+    print(summary.render())
+    print()
+    print(render_report(result.telemetry.metrics))
+    if chrome is not None:
+        chrome.write(args.trace)
+        print(f"\nChrome trace written to {args.trace} ({len(chrome)} events)")
+    if jsonl is not None:
+        written = jsonl.events_written
+        jsonl.close()
+        print(f"JSONL trace written to {args.trace_jsonl} ({written} events)")
+    return 0
+
+
 def cmd_experiments(args) -> int:
     from repro.experiments.__main__ import main as experiments_main
 
@@ -173,6 +228,32 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--seed", type=int, default=0)
     campaign.set_defaults(fn=cmd_campaign)
 
+    report = sub.add_parser(
+        "report",
+        help="run a simulated WAN transfer and summarize its telemetry",
+    )
+    _add_link_args(report)
+    report.add_argument("--protocol", choices=("sr", "ec"), default="sr")
+    report.add_argument("--messages", type=int, default=4)
+    report.add_argument("--seed", type=int, default=0)
+    report.add_argument(
+        "--nack", action="store_true", help="enable SR NACK mode"
+    )
+    report.add_argument(
+        "--trace", metavar="PATH",
+        help="write a Chrome/Perfetto trace_event JSON file",
+    )
+    report.add_argument(
+        "--trace-jsonl", metavar="PATH",
+        help="write the raw trace-event stream as JSON Lines",
+    )
+    # The DES actually executes this transfer, so default to a small
+    # fast point rather than the analytic commands' 128 MiB @ 3750 km.
+    report.set_defaults(
+        fn=cmd_report, size_mib=4.0, drop=1e-2,
+        distance_km=1000.0, bandwidth_gbps=100.0,
+    )
+
     experiments = sub.add_parser("experiments", help="regenerate paper figures")
     experiments.add_argument("figures", nargs="*", help="e.g. fig09 fig13")
     experiments.set_defaults(fn=cmd_experiments)
@@ -182,7 +263,11 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

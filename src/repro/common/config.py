@@ -13,7 +13,7 @@ Three configs mirror the three layers of the paper's system:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.common.errors import ConfigError
 from repro.common.units import Gbit, KiB, MiB, distance_to_rtt

@@ -29,6 +29,8 @@ CqeHandler = Callable[[Cqe], bool]
 
 @dataclass
 class WorkerStats:
+    """Snapshot of one worker's registry counters (scope ``dpa.<name>``)."""
+
     cqes_processed: int = 0
     chunks_closed: int = 0
     busy_seconds: float = 0.0
@@ -48,8 +50,22 @@ class DpaWorker:
         self.config = config
         self.name = name
         self._queues: list[tuple[CompletionQueue, CqeHandler]] = []
-        self.stats = WorkerStats()
         self._proc: object | None = None
+        scope = sim.telemetry.metrics.scope(f"dpa.{name}")
+        self._m_cqes = scope.counter("cqes_processed")
+        self._m_chunks = scope.counter("chunks_closed")
+        self._m_busy = scope.counter("busy_seconds")
+        self._trace = sim.telemetry.trace
+        self._track = f"dpa.{name}"
+
+    @property
+    def stats(self) -> WorkerStats:
+        """Snapshot of this worker's registry counters."""
+        return WorkerStats(
+            cqes_processed=self._m_cqes.value,
+            chunks_closed=self._m_chunks.value,
+            busy_seconds=self._m_busy.value,
+        )
 
     def assign(self, cq: CompletionQueue, handler: CqeHandler) -> None:
         """Add a CQ (with its backend handler) to this worker's poll set."""
@@ -73,6 +89,7 @@ class DpaWorker:
                 )
                 continue
             cqe, handler = nxt
+            start = self.sim.now
             cost = self.config.per_cqe_seconds
             yield self.sim.timeout(cost)
             closed_chunk = handler(cqe)
@@ -81,9 +98,14 @@ class DpaWorker:
                 if extra > 0:
                     yield self.sim.timeout(extra)
                 cost += extra
-                self.stats.chunks_closed += 1
-            self.stats.cqes_processed += 1
-            self.stats.busy_seconds += cost
+                self._m_chunks.inc()
+            self._m_cqes.inc()
+            self._m_busy.inc(cost)
+            if self._trace.enabled:
+                self._trace.complete(
+                    "cqe", cat="dpa", track=self._track, start=start,
+                    qpn=cqe.qpn, closed_chunk=closed_chunk,
+                )
 
 
 class DpaEngine:

@@ -14,7 +14,7 @@ from __future__ import annotations
 import abc
 import time
 from collections.abc import Callable
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -25,7 +25,13 @@ from repro.sim.engine import Simulator
 
 @dataclass
 class ChannelStats:
-    """Counters a channel accumulates; read by tests and benchmarks."""
+    """Point-in-time snapshot of one channel's counters.
+
+    Channels accumulate into the simulation-wide
+    :class:`~repro.telemetry.MetricsRegistry` (scope ``net.<name>``); this
+    dataclass is the read-side view ``Channel.stats`` materializes for
+    tests and benchmarks.
+    """
 
     packets_offered: int = 0
     packets_dropped: int = 0
@@ -69,8 +75,17 @@ class Channel:
                 else NoLoss()
             )
         self.loss = loss
-        self.stats = ChannelStats()
         self._sink: Callable[[Packet], None] | None = None
+        self._busy_until = 0.0
+        scope = sim.telemetry.metrics.scope(f"net.{name}")
+        self._m_offered = scope.counter("packets_offered")
+        self._m_dropped = scope.counter("packets_dropped")
+        self._m_duplicated = scope.counter("packets_duplicated")
+        self._m_tail_drops = scope.counter("tail_drops")
+        self._m_bytes_offered = scope.counter("bytes_offered")
+        self._m_bytes_delivered = scope.counter("bytes_delivered")
+        self._trace = sim.telemetry.trace
+        self._track = f"net.{name}"
 
     def attach_sink(self, sink: Callable[[Packet], None]) -> None:
         """Register the receive-side port that consumes delivered packets."""
@@ -91,34 +106,49 @@ class Channel:
         if self._sink is None:
             raise RuntimeError(f"{self.name}: no sink attached")
         now = self.sim.now
-        start = max(now, self.stats.busy_until)
-        self.stats.packets_offered += 1
-        self.stats.bytes_offered += packet.length
+        start = max(now, self._busy_until)
+        self._m_offered.inc()
+        self._m_bytes_offered.inc(packet.length)
 
         if self.config.buffer_bytes > 0:
             # Bounded egress buffer: the backlog is the data already queued
             # but not yet serialized; overflow tail-drops the new packet.
             backlog = (start - now) * self.config.bytes_per_second
             if backlog + packet.length > self.config.buffer_bytes:
-                self.stats.packets_dropped += 1
-                self.stats.tail_drops += 1
+                self._m_dropped.inc()
+                self._m_tail_drops.inc()
+                if self._trace.enabled:
+                    self._trace.instant(
+                        "tail_drop", cat="net", track=self._track,
+                        psn=packet.psn, bytes=packet.length,
+                    )
                 return now  # dropped at enqueue: no wire time consumed
 
         done = start + self.serialization_time(packet.length)
-        self.stats.busy_until = done
+        self._busy_until = done
 
         if self.loss.drops(self.rng, packet.length):
-            self.stats.packets_dropped += 1
+            self._m_dropped.inc()
+            if self._trace.enabled:
+                self._trace.instant(
+                    "drop", cat="net", track=self._track,
+                    psn=packet.psn, bytes=packet.length,
+                )
             return done
 
-        self.stats.bytes_delivered += packet.length
+        self._m_bytes_delivered.inc(packet.length)
+        if self._trace.enabled:
+            self._trace.complete(
+                "tx", cat="net", track=self._track, start=start, end=done,
+                psn=packet.psn, bytes=packet.length,
+            )
         self.sim.call_at(done + self._flight_delay(), lambda p=packet: self._deliver(p))
         if (
             self.config.duplicate_probability > 0
             and self.rng.random() < self.config.duplicate_probability
         ):
             # In-network duplication: the copy takes its own (jittered) path.
-            self.stats.packets_duplicated += 1
+            self._m_duplicated.inc()
             self.sim.call_at(
                 done + self._flight_delay(), lambda p=packet: self._deliver(p)
             )
@@ -140,9 +170,22 @@ class Channel:
         self._sink(packet)
 
     @property
+    def stats(self) -> ChannelStats:
+        """Snapshot of this channel's registry counters."""
+        return ChannelStats(
+            packets_offered=self._m_offered.value,
+            packets_dropped=self._m_dropped.value,
+            packets_duplicated=self._m_duplicated.value,
+            tail_drops=self._m_tail_drops.value,
+            bytes_offered=self._m_bytes_offered.value,
+            bytes_delivered=self._m_bytes_delivered.value,
+            busy_until=self._busy_until,
+        )
+
+    @property
     def next_free(self) -> float:
         """Earliest time a new packet could start serializing."""
-        return max(self.sim.now, self.stats.busy_until)
+        return max(self.sim.now, self._busy_until)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Channel({self.name}, {self.config.bandwidth_bps / 1e9:g} Gbit/s)"

@@ -107,6 +107,34 @@ class GilbertElliottLoss(LossModel):
         p = self.p_bad if self._bad else self.p_good
         return bool(p and rng.random() < p)
 
+    def drop_mask(self, rng: np.random.Generator, sizes: np.ndarray) -> np.ndarray:
+        """Batched drop decisions with one RNG draw.
+
+        The Markov chain is inherently sequential, so the state update stays
+        a Python loop -- but all ``2n`` uniforms (transition + drop per
+        packet) come from a single ``rng.random((n, 2))`` call, which is
+        where the per-packet path spends its time.
+        """
+        n = len(sizes)
+        out = np.zeros(n, dtype=bool)
+        if n == 0:
+            return out
+        draws = rng.random((n, 2))
+        bad = self._bad
+        p_good, p_bad = self.p_good, self.p_bad
+        p_gb, p_bg = self.p_gb, self.p_bg
+        for i in range(n):
+            if bad:
+                if draws[i, 0] < p_bg:
+                    bad = False
+            elif draws[i, 0] < p_gb:
+                bad = True
+            p = p_bad if bad else p_good
+            if p and draws[i, 1] < p:
+                out[i] = True
+        self._bad = bad
+        return out
+
     def __repr__(self) -> str:
         return (
             f"GilbertElliottLoss(p_good={self.p_good:g}, p_bad={self.p_bad:g}, "

@@ -104,12 +104,14 @@ class BondedChannel:
         """Aggregate statistics across planes (fresh snapshot)."""
         agg = ChannelStats()
         for plane in self.planes:
-            agg.packets_offered += plane.stats.packets_offered
-            agg.packets_dropped += plane.stats.packets_dropped
-            agg.packets_duplicated += plane.stats.packets_duplicated
-            agg.bytes_offered += plane.stats.bytes_offered
-            agg.bytes_delivered += plane.stats.bytes_delivered
-            agg.busy_until = max(agg.busy_until, plane.stats.busy_until)
+            snap = plane.stats
+            agg.packets_offered += snap.packets_offered
+            agg.packets_dropped += snap.packets_dropped
+            agg.packets_duplicated += snap.packets_duplicated
+            agg.tail_drops += snap.tail_drops
+            agg.bytes_offered += snap.bytes_offered
+            agg.bytes_delivered += snap.bytes_delivered
+            agg.busy_until = max(agg.busy_until, snap.busy_until)
         return agg
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

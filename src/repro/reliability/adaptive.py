@@ -28,7 +28,6 @@ Design
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass
 
 from repro.common.errors import ConfigError
@@ -170,6 +169,13 @@ class AdaptiveReceiver:
         self.estimator = estimator if estimator is not None else DropRateEstimator()
         self.protocol_history: list[str] = []
         self._msg_index = 0
+        scope = self.sim.telemetry.metrics.scope(f"adaptive.{qp.ctx.device.name}")
+        self._m_choices_sr = scope.counter("choices_sr")
+        self._m_choices_ec = scope.counter("choices_ec")
+        self._m_provisions_sent = scope.counter("provisions_sent")
+        self._g_drop_estimate = scope.gauge("drop_estimate")
+        self._trace = self.sim.telemetry.trace
+        self._track = f"adaptive.{qp.ctx.device.name}"
 
     def post_receive(
         self, mr: MemoryRegion, length: int, mr_offset: int = 0
@@ -178,6 +184,13 @@ class AdaptiveReceiver:
         index = self._msg_index
         self._msg_index += 1
         self.protocol_history.append(choice)
+        (self._m_choices_ec if choice == "ec" else self._m_choices_sr).inc()
+        if self._trace.enabled:
+            self._trace.instant(
+                "provision_choice", cat="adaptive", track=self._track,
+                index=index, protocol=choice,
+                drop_estimate=self.estimator.estimate,
+            )
         backend = self.ec if choice == "ec" else self.sr
         ticket = backend.post_receive(mr, length, mr_offset)
         self.sim.process(self._announce(index, choice, ticket))
@@ -192,6 +205,7 @@ class AdaptiveReceiver:
         """Send the provision, refreshing until the message completes."""
         for _ in range(20):
             self.ctrl.send(Provision(msg_seq=index, protocol=choice))
+            self._m_provisions_sent.inc()
             if ticket.finish_time is not None:
                 return
             yield self.sim.timeout(max(self.rtt, 1e-4))
@@ -204,7 +218,7 @@ class AdaptiveReceiver:
         # absorbed without retransmission).
         duplicates = sum(rh.duplicate_packets for rh in ticket.recv_handles)
         lost_chunks = duplicates / ppc + float(ticket.decoded_chunks)
-        self.estimator.observe(lost_chunks, total)
+        self._g_drop_estimate.set(self.estimator.observe(lost_chunks, total))
 
 
 class AdaptiveSender:

@@ -158,6 +158,14 @@ class EcSender:
         self.rtt = rtt if rtt is not None else qp.ctx.channel_rtt_hint()
         ctrl.on_message(self._on_ctrl)
         self._states: dict[int, _EcSendState] = {}
+        scope = self.sim.telemetry.metrics.scope(f"ec.{qp.ctx.device.name}")
+        self._m_writes_completed = scope.counter("writes_completed")
+        self._m_writes_failed = scope.counter("writes_failed")
+        self._m_nacks_received = scope.counter("nacks_received")
+        self._m_fallback_retransmits = scope.counter("fallback_retransmits")
+        self._h_write_seconds = scope.histogram("write_seconds")
+        self._trace = self.sim.telemetry.trace
+        self._track = f"ec.{qp.ctx.device.name}"
 
     # -- public API --------------------------------------------------------------------
 
@@ -241,6 +249,7 @@ class EcSender:
         budget = expected + self.config.global_timeout_rtts * self.rtt
         yield self.sim.timeout(budget)
         if not state.done:
+            self._m_writes_failed.inc()
             state.ticket.failed = True
             self._states.pop(state.ticket.seq, None)
             if not state.ticket.done.triggered:
@@ -260,12 +269,27 @@ class EcSender:
                 if not hdl.ended:
                     self.qp.send_stream_end(hdl)
             state.ticket._finish(self.sim.now)
+            self._m_writes_completed.inc()
+            self._h_write_seconds.observe(self.sim.now - state.ticket.start_time)
+            if self._trace.enabled:
+                self._trace.complete(
+                    "ec_write", cat="ec", track=self._track,
+                    start=state.ticket.start_time, seq=state.ticket.seq,
+                    bytes=state.ticket.length,
+                    fell_back=state.ticket.fell_back_to_sr,
+                )
         elif isinstance(msg, EcNack):
             state = self._states.get(msg.msg_seq)
             if state is None:
                 return
             state.ticket.nacks_received += 1
             state.ticket.fell_back_to_sr = True
+            self._m_nacks_received.inc()
+            if self._trace.enabled:
+                self._trace.instant(
+                    "sr_fallback", cat="ec", track=self._track,
+                    seq=msg.msg_seq, missing=len(msg.missing_chunks),
+                )
             layout = state.layout
             for chunk in msg.missing_chunks:
                 sub, j = divmod(int(chunk), layout.k)
@@ -279,6 +303,7 @@ class EcSender:
                     piece = state.payload[base : base + clen]
                 self.qp.send_stream_continue(state.data_hdls[sub], off, clen, piece)
                 state.ticket.retransmitted_chunks += 1
+                self._m_fallback_retransmits.inc()
 
 
 class EcReceiver:
@@ -298,9 +323,26 @@ class EcReceiver:
         self.config = config if config is not None else EcConfig()
         self.codec = self.config.make_codec()
         self.rtt = rtt if rtt is not None else qp.ctx.channel_rtt_hint()
-        self.acks_sent = 0
-        self.nacks_sent = 0
-        self.submessages_decoded = 0
+        scope = self.sim.telemetry.metrics.scope(f"ec.{qp.ctx.device.name}")
+        self._m_acks_sent = scope.counter("acks_sent")
+        self._m_nacks_sent = scope.counter("nacks_sent")
+        self._m_submessages_decoded = scope.counter("submessages_decoded")
+        self._m_decoded_chunks = scope.counter("decoded_chunks")
+        self._trace = self.sim.telemetry.trace
+        self._track = f"ec.{qp.ctx.device.name}"
+
+    @property
+    def acks_sent(self) -> int:
+        return self._m_acks_sent.value
+
+    @property
+    def nacks_sent(self) -> int:
+        return self._m_nacks_sent.value
+
+    @property
+    def submessages_decoded(self) -> int:
+        """Submessages that needed speculative-parity decoding."""
+        return self._m_submessages_decoded.value
 
     # -- public API ---------------------------------------------------------------------
 
@@ -421,14 +463,14 @@ class EcReceiver:
             if not h.completed:
                 h.complete()
         self.ctrl.send(EcAck(msg_seq=ticket.seq))
-        self.acks_sent += 1
+        self._m_acks_sent.inc()
         ticket._finish(self.sim.now)
         # Grace re-ACKs in case the positive ACK is dropped.
         grace_end = self.sim.now + self.config.grace_rtts * self.rtt
         while self.sim.now < grace_end:
             yield self.sim.timeout(2 * self.rtt)
             self.ctrl.send(EcAck(msg_seq=ticket.seq))
-            self.acks_sent += 1
+            self._m_acks_sent.inc()
 
     def _send_nack(
         self,
@@ -455,7 +497,12 @@ class EcReceiver:
                 missing_chunks=tuple(missing),
             )
         )
-        self.nacks_sent += 1
+        self._m_nacks_sent.inc()
+        if self._trace.enabled:
+            self._trace.instant(
+                "ec_nack", cat="ec", track=self._track,
+                seq=seq, failed_subs=len(pending), missing=len(missing),
+            )
 
     def _decode_all(self, ticket, layout, mr, mr_offset, data_handles, parity_handles):
         """Recover missing data chunks of every incomplete submessage."""
@@ -464,11 +511,19 @@ class EcReceiver:
             data_present = data_handles[s].bitmap().as_array()[:real]
             if data_present.all():
                 continue
-            self.submessages_decoded += 1
-            ticket.decoded_chunks += int((~data_present).sum())
+            self._m_submessages_decoded.inc()
+            missing = int((~data_present).sum())
+            ticket.decoded_chunks += missing
+            self._m_decoded_chunks.inc(missing)
             sub_bytes = layout.sub_bytes(s)
+            decode_start = self.sim.now
             if self.config.decode_bps is not None:
                 yield self.sim.timeout(sub_bytes * 8.0 / self.config.decode_bps)
+            if self._trace.enabled:
+                self._trace.complete(
+                    "decode", cat="ec", track=self._track,
+                    start=decode_start, sub=s, missing_chunks=missing,
+                )
             if not mr.payload_mode:
                 continue  # sized mode: timing only
             chunks: dict[int, np.ndarray] = {}

@@ -16,8 +16,6 @@ exactly the bandwidth waste SR avoids.
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.common.errors import ProtocolError
 from repro.reliability.base import ControlPath, ReceiveTicket, WriteTicket
 from repro.reliability.messages import Ack
@@ -50,6 +48,13 @@ class GbnSender:
         self._tickets: dict[int, WriteTicket] = {}
         self._una: dict[int, int] = {}
         self._progress_event: dict[int, object] = {}
+        scope = self.sim.telemetry.metrics.scope(f"gbn.{qp.ctx.device.name}")
+        self._m_rewinds = scope.counter("rto_rewinds")
+        self._m_retransmitted = scope.counter("retransmitted_chunks")
+        self._m_writes_completed = scope.counter("writes_completed")
+        self._h_write_seconds = scope.histogram("write_seconds")
+        self._trace = self.sim.telemetry.trace
+        self._track = f"gbn.{qp.ctx.device.name}"
 
     def write(self, length: int, payload: bytes | None = None) -> WriteTicket:
         hdl = self.qp.send_stream_start(SdrSendWr(length=length, payload=payload))
@@ -97,9 +102,15 @@ class GbnSender:
                     if not ticket.done.triggered:
                         ticket.done.fail(ProtocolError("GBN retransmit budget"))
                     return
-                ticket.retransmitted_chunks += min(
-                    self.window_chunks, nchunks - una
-                )
+                rewound = min(self.window_chunks, nchunks - una)
+                ticket.retransmitted_chunks += rewound
+                self._m_rewinds.inc()
+                self._m_retransmitted.inc(rewound)
+                if self._trace.enabled:
+                    self._trace.instant(
+                        "rto_rewind", cat="gbn", track=self._track,
+                        seq=seq, una=una, chunks=rewound,
+                    )
                 next_to_send = una
                 for i in range(una, min(una + self.window_chunks, nchunks)):
                     self._send_chunk(hdl, i, length, payload)
@@ -110,6 +121,8 @@ class GbnSender:
             self.qp.send_stream_end(hdl)
         self._cleanup(seq)
         ticket._finish(self.sim.now)
+        self._m_writes_completed.inc()
+        self._h_write_seconds.observe(self.sim.now - ticket.start_time)
 
     def _cleanup(self, seq: int) -> None:
         self._tickets.pop(seq, None)
@@ -144,7 +157,13 @@ class GbnReceiver:
         self.ctrl = ctrl
         self.config = config if config is not None else SrConfig()
         self.rtt = rtt if rtt is not None else qp.ctx.channel_rtt_hint()
-        self.acks_sent = 0
+        self._m_acks_sent = self.sim.telemetry.metrics.counter(
+            f"gbn.{qp.ctx.device.name}.acks_sent"
+        )
+
+    @property
+    def acks_sent(self) -> int:
+        return self._m_acks_sent.value
 
     def post_receive(
         self, mr: MemoryRegion, length: int, mr_offset: int = 0
@@ -164,13 +183,13 @@ class GbnReceiver:
             )
             # Cumulative-only: no selective window (the GBN restriction).
             self.ctrl.send(Ack(msg_seq=ticket.seq, cumulative=rh.bitmap().cumulative()))
-            self.acks_sent += 1
+            self._m_acks_sent.inc()
         self.ctrl.send(Ack(msg_seq=ticket.seq, cumulative=rh.nchunks))
-        self.acks_sent += 1
+        self._m_acks_sent.inc()
         rh.complete()
         ticket._finish(self.sim.now)
         grace_end = self.sim.now + self.config.grace_rtts * self.rtt
         while self.sim.now < grace_end:
             yield self.sim.timeout(self.config.rto_rtts * self.rtt)
             self.ctrl.send(Ack(msg_seq=ticket.seq, cumulative=rh.nchunks))
-            self.acks_sent += 1
+            self._m_acks_sent.inc()

@@ -17,7 +17,7 @@ The SR ACK implements the paper's two-part encoding:
 from __future__ import annotations
 
 import struct
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.common.errors import ProtocolError
 

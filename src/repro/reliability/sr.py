@@ -101,6 +101,15 @@ class SrSender:
         self._states: dict[int, _SendState] = {}
         self._timer_wake: Event | None = None
         self._timer = self.sim.process(self._timer_loop())
+        scope = self.sim.telemetry.metrics.scope(f"sr.{qp.ctx.device.name}")
+        self._m_rto_fires = scope.counter("rto_fires")
+        self._m_retransmitted = scope.counter("retransmitted_chunks")
+        self._m_nacks_received = scope.counter("nacks_received")
+        self._m_writes_completed = scope.counter("writes_completed")
+        self._m_writes_failed = scope.counter("writes_failed")
+        self._h_write_seconds = scope.histogram("write_seconds")
+        self._trace = self.sim.telemetry.trace
+        self._track = f"sr.{qp.ctx.device.name}"
 
     # -- public API -----------------------------------------------------------------
 
@@ -194,11 +203,19 @@ class SrSender:
                 if state.retransmit_count[index] > self.config.max_chunk_retransmits:
                     self._fail(state, f"chunk {index} exceeded retransmit budget")
                     break
+                self._m_rto_fires.inc()
+                self._m_retransmitted.inc()
+                if self._trace.enabled:
+                    self._trace.instant(
+                        "rto_fire", cat="sr", track=self._track,
+                        seq=state.ticket.seq, chunk=index,
+                    )
                 self._send_chunk(state, index)
                 state.deadline[index] = now + self.rto
                 state.ticket.retransmitted_chunks += 1
 
     def _fail(self, state: _SendState, reason: str) -> None:
+        self._m_writes_failed.inc()
         state.ticket.failed = True
         self._states.pop(state.ticket.seq, None)
         if not state.ticket.done.triggered:
@@ -221,6 +238,7 @@ class SrSender:
             if state is None:
                 return
             state.ticket.nacks_received += 1
+            self._m_nacks_received.inc()
             now = self.sim.now
             holdoff = self.config.nack_holdoff_rtts * self.rtt
             for index in msg.chunks:
@@ -231,6 +249,7 @@ class SrSender:
                     self._send_chunk(state, int(index))
                     state.deadline[index] = now + self.rto
                     state.ticket.retransmitted_chunks += 1
+                    self._m_retransmitted.inc()
 
     def _maybe_finish(self, state: _SendState) -> None:
         if state.complete and not state.ticket.failed:
@@ -238,6 +257,15 @@ class SrSender:
                 self.qp.send_stream_end(state.hdl)
             self._states.pop(state.ticket.seq, None)
             state.ticket._finish(self.sim.now)
+            self._m_writes_completed.inc()
+            self._h_write_seconds.observe(self.sim.now - state.ticket.start_time)
+            if self._trace.enabled:
+                self._trace.complete(
+                    "sr_write", cat="sr", track=self._track,
+                    start=state.ticket.start_time, seq=state.ticket.seq,
+                    bytes=state.ticket.length,
+                    retransmits=state.ticket.retransmitted_chunks,
+                )
             self._kick_timer()
 
 
@@ -257,8 +285,19 @@ class SrReceiver:
         self.ctrl = ctrl
         self.config = config if config is not None else SrConfig()
         self.rtt = rtt if rtt is not None else qp.ctx.channel_rtt_hint()
-        self.acks_sent = 0
-        self.nacks_sent = 0
+        scope = self.sim.telemetry.metrics.scope(f"sr.{qp.ctx.device.name}")
+        self._m_acks_sent = scope.counter("acks_sent")
+        self._m_nacks_sent = scope.counter("nacks_sent")
+        self._trace = self.sim.telemetry.trace
+        self._track = f"sr.{qp.ctx.device.name}"
+
+    @property
+    def acks_sent(self) -> int:
+        return self._m_acks_sent.value
+
+    @property
+    def nacks_sent(self) -> int:
+        return self._m_nacks_sent.value
 
     def post_receive(
         self, mr: MemoryRegion, length: int, mr_offset: int = 0
@@ -308,11 +347,11 @@ class SrReceiver:
                 window=window,
             )
         )
-        self.acks_sent += 1
+        self._m_acks_sent.inc()
 
     def _send_final_ack(self, seq: int, nchunks: int) -> None:
         self.ctrl.send(Ack(msg_seq=seq, cumulative=nchunks))
-        self.acks_sent += 1
+        self._m_acks_sent.inc()
 
     def _send_gap_nacks(
         self, seq: int, rh: RecvHandle, last_nack: np.ndarray
@@ -334,4 +373,9 @@ class SrReceiver:
         gaps = gaps[:max_entries]
         last_nack[gaps] = now
         self.ctrl.send(SrNack(msg_seq=seq, chunks=tuple(int(g) for g in gaps)))
-        self.nacks_sent += 1
+        self._m_nacks_sent.inc()
+        if self._trace.enabled:
+            self._trace.instant(
+                "gap_nack", cat="sr", track=self._track,
+                seq=seq, chunks=int(gaps.size),
+            )

@@ -41,6 +41,8 @@ class SendHandle:
         self.ended = False  # one-shot sends end implicitly
         self.cts_event: Event = qp.sim.event()
         self._done_event: Event | None = None
+        self._posted_at = qp.sim.now
+        self._span_emitted = False
 
     # -- API ---------------------------------------------------------------------
 
@@ -64,20 +66,25 @@ class SendHandle:
 
     def _on_packet_injected(self) -> None:
         self.packets_injected += 1
-        if (
-            self._done_event is not None
-            and not self._done_event.triggered
-            and self.poll()
-        ):
-            self._done_event.succeed(self)
+        self._maybe_finish()
 
     def _on_end(self) -> None:
         self.ended = True
-        if (
-            self._done_event is not None
-            and not self._done_event.triggered
-            and self.poll()
-        ):
+        self._maybe_finish()
+
+    def _maybe_finish(self) -> None:
+        if not self.poll():
+            return
+        if not self._span_emitted:
+            self._span_emitted = True
+            tr = self.qp._trace
+            if tr.enabled:
+                tr.complete(
+                    "send_inject", cat="sdr", track=self.qp._track,
+                    start=self._posted_at, seq=self.seq,
+                    bytes=self.bytes_posted, packets=self.packets_injected,
+                )
+        if self._done_event is not None and not self._done_event.triggered:
             self._done_event.succeed(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
@@ -134,6 +141,7 @@ class RecvHandle:
         self.duplicate_packets = 0
         self._chunk_waiters: list[Event] = []
         self._all_event: Event | None = None
+        self._posted_at = qp.sim.now
 
     # -- API ---------------------------------------------------------------------
 
@@ -150,6 +158,13 @@ class RecvHandle:
         if self.completed:
             raise SdrStateError(f"receive (seq={self.seq}) already completed")
         self.completed = True
+        tr = self.qp._trace
+        if tr.enabled:
+            tr.complete(
+                "recv_msg", cat="sdr", track=self.qp._track,
+                start=self._posted_at, seq=self.seq, bytes=self.length,
+                duplicates=self.duplicate_packets,
+            )
         self.qp._on_recv_complete(self)
 
     def all_chunks_received(self) -> bool:
@@ -187,6 +202,7 @@ class RecvHandle:
             return False
         if not self.packet_bitmap.set(packet_index):
             self.duplicate_packets += 1
+            self.qp._m_duplicate_packets.inc()
             return False  # duplicate (e.g. spurious retransmission)
         self._imm.feed(packet_index, fragment)
         chunk = packet_index // self.packets_per_chunk

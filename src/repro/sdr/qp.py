@@ -24,7 +24,7 @@ keeps the two sides in lockstep without exchanging per-message metadata.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.common.config import SdrConfig
@@ -159,11 +159,32 @@ class SdrQp:
         #: dropped CTS datagrams on lossy control paths.
         self._cts_refresh_budget = 0
 
-        # Telemetry.
-        self.late_cqes_filtered = 0
-        self.messages_sent = 0
-        self.messages_received = 0
         self._cts_refresher = None
+
+        # Telemetry (registry scope sdr.<device>).
+        scope = self.sim.telemetry.metrics.scope(f"sdr.{dev.name}")
+        self._m_messages_sent = scope.counter("messages_sent")
+        self._m_messages_received = scope.counter("messages_received")
+        self._m_late_cqes = scope.counter("late_cqes_filtered")
+        self._m_cts_sent = scope.counter("cts_sent")
+        self._m_chunks_completed = scope.counter("chunks_completed")
+        self._m_generation_rollovers = scope.counter("generation_rollovers")
+        self._m_duplicate_packets = scope.counter("duplicate_packets")
+        self._trace = self.sim.telemetry.trace
+        self._track = f"sdr.{dev.name}"
+
+    @property
+    def messages_sent(self) -> int:
+        return self._m_messages_sent.value
+
+    @property
+    def messages_received(self) -> int:
+        return self._m_messages_received.value
+
+    @property
+    def late_cqes_filtered(self) -> int:
+        """Data CQEs discarded by stage-two late-packet filtering."""
+        return self._m_late_cqes.value
 
     # ------------------------------------------------------------------ wiring
 
@@ -306,13 +327,20 @@ class SdrQp:
         seq = self._send_seq
         self._send_seq += 1
         msg_id, generation = self._slot_of(seq)
+        if seq and msg_id == 0:
+            self._m_generation_rollovers.inc()
+            if self._trace.enabled:
+                self._trace.instant(
+                    "generation_rollover", cat="sdr", track=self._track,
+                    side="send", generation=generation,
+                )
         hdl = SendHandle(self, seq, msg_id, generation)
         self._send_handles[seq] = hdl
         if seq <= self._cts_high:
             hdl.cts_event.succeed(None)
         else:
             self._cts_waiters.append(hdl)
-        self.messages_sent += 1
+        self._m_messages_sent.inc()
         return hdl
 
     def _one_shot(self, hdl: SendHandle, wr: SdrSendWr, npackets: int):
@@ -388,6 +416,13 @@ class SdrQp:
         seq = self._recv_seq
         self._recv_seq += 1
         msg_id, generation = self._slot_of(seq)
+        if seq and msg_id == 0:
+            self._m_generation_rollovers.inc()
+            if self._trace.enabled:
+                self._trace.instant(
+                    "generation_rollover", cat="sdr", track=self._track,
+                    side="recv", generation=generation,
+                )
         if msg_id in self._recv_table:
             raise ResourceError(
                 f"message ID {msg_id} wrapped around while still in flight"
@@ -417,7 +452,7 @@ class SdrQp:
         self.sim.call_in(
             self.ctx.dpa_config.repost_seconds, lambda: self._send_cts()
         )
-        self.messages_received += 1
+        self._m_messages_received.inc()
         return hdl
 
     def _send_cts(self) -> None:
@@ -427,6 +462,9 @@ class SdrQp:
         high = self._recv_seq - 1
         if high < 0:
             return
+        self._m_cts_sent.inc()
+        if self._trace.enabled:
+            self._trace.instant("cts", cat="sdr", track=self._track, high=high)
         self.ctrl_qp.post_send(
             SendWr(length=CTS_BYTES, immediate=high % (1 << 32), signaled=False)
         )
@@ -469,7 +507,12 @@ class SdrQp:
         if hdl is None or hdl.generation != cqe.generation or hdl.completed:
             # Stage-two late-packet filtering (stage one already discarded
             # the payload via the NULL mkey).
-            self.late_cqes_filtered += 1
+            self._m_late_cqes.inc()
+            if self._trace.enabled:
+                self._trace.instant(
+                    "late_cqe", cat="sdr", track=self._track,
+                    msg_id=msg_id, generation=cqe.generation,
+                )
             return None
         return hdl, pkt_idx, frag
 
@@ -478,6 +521,12 @@ class SdrQp:
         closes = hdl._on_packet(pkt_idx, frag)
         if closes:
             chunk = pkt_idx // hdl.packets_per_chunk
+            self._m_chunks_completed.inc()
+            if self._trace.enabled:
+                self._trace.instant(
+                    "chunk_close", cat="sdr", track=self._track,
+                    msg_id=hdl.msg_id, chunk=chunk,
+                )
             delay = self.ctx.dpa_config.pcie_update_seconds
             if delay > 0:
                 self.sim.call_in(delay, lambda: hdl._publish_chunk(chunk))

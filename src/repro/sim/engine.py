@@ -24,6 +24,7 @@ from collections.abc import Callable, Generator
 from typing import Any
 
 from repro.common.errors import ReproError
+from repro.telemetry import Telemetry
 
 
 class SimulationError(ReproError):
@@ -170,12 +171,20 @@ class Process(Event):
 
 
 class Simulator:
-    """Event loop with a simulated clock starting at ``t = 0`` seconds."""
+    """Event loop with a simulated clock starting at ``t = 0`` seconds.
 
-    def __init__(self):
+    Every simulator carries a :class:`~repro.telemetry.Telemetry` facade
+    (``sim.telemetry``): components register metrics and emit trace events
+    through it, stamped with this simulator's clock.  Pass a pre-configured
+    facade to enable tracing or disable metrics for a run.
+    """
+
+    def __init__(self, *, telemetry: Telemetry | None = None):
         self._now = 0.0
         self._heap: list[tuple[float, int, Event]] = []
         self._seq = 0
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self.telemetry.bind(self)
 
     @property
     def now(self) -> float:

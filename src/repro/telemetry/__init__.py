@@ -1,0 +1,96 @@
+"""repro.telemetry -- unified metrics and simulated-time tracing.
+
+The subsystem has two halves, owned by one :class:`Telemetry` facade that
+every :class:`~repro.sim.engine.Simulator` carries:
+
+* ``telemetry.metrics`` -- a :class:`~repro.telemetry.metrics.MetricsRegistry`
+  of hierarchically named counters/gauges/histograms.  Metrics are **on by
+  default**: a counter increment is as cheap as the ad-hoc ``stats.x += 1``
+  fields it replaces, and the registry is the single source the
+  ``repro report`` CLI reads.
+* ``telemetry.trace`` -- a :class:`~repro.telemetry.trace.Tracer` emitting
+  structured events stamped with simulated time.  Tracing is **off by
+  default**; hot paths guard every emission with ``if tracer.enabled:`` so
+  the disabled cost is one attribute check.
+
+Metric naming scheme (see ``docs/observability.md``):
+
+=====================  ==========================================
+prefix                 producer
+=====================  ==========================================
+``net.<chan>``         :class:`repro.net.channel.Channel`
+``cq.<name>``          :class:`repro.verbs.cq.CompletionQueue`
+``verbs.<dev>.qp<n>``  UC/RC QPs
+``sdr.<dev>``          :class:`repro.sdr.qp.SdrQp`
+``sr|ec|gbn.<dev>``    reliability senders/receivers
+``adaptive.<dev>``     adaptive provisioning
+``dpa.<worker>``       :class:`repro.dpa.worker.DpaWorker`
+=====================  ==========================================
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsScope,
+)
+from repro.telemetry.trace import (
+    ChromeTraceSink,
+    JsonlSink,
+    RingBufferSink,
+    TraceEvent,
+    TraceSink,
+    Tracer,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsScope",
+    "Telemetry",
+    "TraceEvent",
+    "TraceSink",
+    "Tracer",
+    "RingBufferSink",
+    "JsonlSink",
+    "ChromeTraceSink",
+]
+
+
+class Telemetry:
+    """Facade bundling one metrics registry and one tracer per simulation."""
+
+    def __init__(
+        self,
+        *,
+        metrics: bool = True,
+        trace: bool = False,
+        trace_sinks: Iterable[TraceSink] = (),
+    ):
+        self.metrics = MetricsRegistry(enabled=metrics)
+        self.trace = Tracer(enabled=trace, sinks=trace_sinks)
+        self._sequences: dict[str, int] = {}
+
+    def bind(self, sim) -> None:
+        """Point the tracer's clock at ``sim.now`` (called by Simulator)."""
+        self.trace.bind_clock(lambda: sim.now)
+
+    def unique(self, label: str) -> str:
+        """Deterministic per-label sequence names: ``cq0``, ``cq1``, ...
+
+        Used for components constructed without an explicit name, so metric
+        names stay stable across same-seed runs.
+        """
+        index = self._sequences.get(label, 0)
+        self._sequences[label] = index + 1
+        return f"{label}{index}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Telemetry(metrics={self.metrics!r}, trace_on={self.trace.enabled})"

@@ -45,13 +45,26 @@ class CompletionQueue:
 
     def __init__(self, sim: Simulator, *, capacity: int | None = None, name: str = ""):
         self.sim = sim
-        self.name = name
+        # Anonymous CQs get a deterministic per-run sequence name so their
+        # registry metrics stay stable across same-seed runs.
+        self.name = name or sim.telemetry.unique("cq")
         self.capacity = capacity
         self._entries: deque[Cqe] = deque()
         self._listener: Callable[["CompletionQueue"], None] | None = None
         self._wakeups: list[Event] = []
-        self.total_posted = 0
-        self.overflows = 0
+        scope = sim.telemetry.metrics.scope(f"cq.{self.name}")
+        self._m_posted = scope.counter("cqes_posted")
+        self._m_overflows = scope.counter("overflows")
+
+    @property
+    def total_posted(self) -> int:
+        """Total CQEs ever accepted (registry-backed)."""
+        return self._m_posted.value
+
+    @property
+    def overflows(self) -> int:
+        """CQEs dropped because the queue was at capacity (registry-backed)."""
+        return self._m_overflows.value
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -62,10 +75,10 @@ class CompletionQueue:
             # Real CQ overflow is fatal to the QP; for the simulation we
             # count and drop, which shows up in stats rather than crashing
             # long benchmark runs.
-            self.overflows += 1
+            self._m_overflows.inc()
             return
         self._entries.append(cqe)
-        self.total_posted += 1
+        self._m_posted.inc()
         if self._listener is not None:
             self._listener(self)
         while self._wakeups:

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import enum
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.common.errors import ConfigError, SdrStateError
@@ -25,7 +25,7 @@ from repro.net.packet import Opcode, Packet
 from repro.sim.engine import Event, Simulator
 from repro.verbs.cq import CompletionQueue, Cqe
 from repro.verbs.device import Device
-from repro.verbs.mr import IndirectMkeyTable, MemoryRegion
+from repro.verbs.mr import IndirectMkeyTable
 
 
 class QpState(enum.Enum):
@@ -86,6 +86,11 @@ class BaseQp:
         self.dst_qpn = 0
         self.peer_device = ""
         device.register_qp(self)
+        self._metrics = self.sim.telemetry.metrics.scope(
+            f"verbs.{device.name}.qp{self.qpn}"
+        )
+        self._trace = self.sim.telemetry.trace
+        self._track = f"verbs.{device.name}.qp{self.qpn}"
 
     def info(self) -> QpInfo:
         return QpInfo(device=self.device.name, qpn=self.qpn, mtu=self.mtu)
@@ -138,8 +143,12 @@ class UcQp(BaseQp):
         self._msg_bytes = 0
         self._wake: Event | None = None
         self._pump = self.sim.process(self._send_pump())
-        #: Messages aborted at the receiver due to a PSN mismatch.
-        self.messages_aborted = 0
+        self._m_aborted = self._metrics.counter("messages_aborted")
+
+    @property
+    def messages_aborted(self) -> int:
+        """Messages aborted at the receiver due to a PSN mismatch."""
+        return self._m_aborted.value
 
     # -- send side --------------------------------------------------------------
 
@@ -248,7 +257,12 @@ class UcQp(BaseQp):
 
     def _abort_partial(self) -> None:
         if self._in_message:
-            self.messages_aborted += 1
+            self._m_aborted.inc()
+            if self._trace.enabled:
+                self._trace.instant(
+                    "psn_abort", cat="verbs", track=self._track,
+                    expected_psn=self._epsn,
+                )
         self._in_message = False
         self._msg_bytes = 0
 
@@ -396,8 +410,19 @@ class RcQp(BaseQp):
         self._epsn = 0
         self._nak_sent_for = -1
         self._unacked_rx = 0
-        self.retransmissions = 0
-        self.naks_sent = 0
+        self._m_retransmissions = self._metrics.counter("retransmissions")
+        self._m_naks_sent = self._metrics.counter("naks_sent")
+        self._m_rto_rewinds = self._metrics.counter("rto_rewinds")
+
+    @property
+    def retransmissions(self) -> int:
+        """Packets re-sent by a Go-Back-N rewind (registry-backed)."""
+        return self._m_retransmissions.value
+
+    @property
+    def naks_sent(self) -> int:
+        """NAK frames the receive side emitted on a sequence gap."""
+        return self._m_naks_sent.value
 
     # -- configuration -----------------------------------------------------------
 
@@ -469,7 +494,7 @@ class RcQp(BaseQp):
             psn = self._snd_nxt
             self._snd_nxt += 1
             if psn < self._built:
-                self.retransmissions += 1
+                self._m_retransmissions.inc()
             else:
                 self._built = psn + 1
             desc = self._descs[psn]
@@ -511,6 +536,12 @@ class RcQp(BaseQp):
                 return  # everything acked
             if self._snd_una == snapshot:
                 # No progress within RTO: Go-Back-N rewind.
+                self._m_rto_rewinds.inc()
+                if self._trace.enabled:
+                    self._trace.instant(
+                        "rto_rewind", cat="verbs", track=self._track,
+                        snd_una=self._snd_una, snd_nxt=self._snd_nxt,
+                    )
                 self._snd_nxt = self._snd_una
                 self._kick()
             if self._snd_una < self._snd_nxt or self._snd_una < len(self._descs):
@@ -579,7 +610,12 @@ class RcQp(BaseQp):
             # Sequence gap: NAK the expected PSN once.
             if self._nak_sent_for != self._epsn:
                 self._nak_sent_for = self._epsn
-                self.naks_sent += 1
+                self._m_naks_sent.inc()
+                if self._trace.enabled:
+                    self._trace.instant(
+                        "nak", cat="verbs", track=self._track,
+                        expected_psn=self._epsn, got_psn=packet.psn,
+                    )
                 self._send_ack(self._epsn - 1, nak=True)
         else:
             # Duplicate from a rewind: re-ACK current progress.

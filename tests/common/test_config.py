@@ -4,7 +4,7 @@ import pytest
 
 from repro.common.config import ChannelConfig, DpaConfig, SdrConfig, default_wan_channel
 from repro.common.errors import ConfigError
-from repro.common.units import GiB, KiB, MiB
+from repro.common.units import GiB, KiB
 
 
 class TestChannelConfig:

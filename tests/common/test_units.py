@@ -1,7 +1,5 @@
 """Unit and constant conversions."""
 
-import math
-
 import pytest
 
 from repro.common.units import (

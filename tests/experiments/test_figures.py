@@ -3,8 +3,6 @@ tables carry the paper's qualitative structure.  Full-size assertions live
 in benchmarks/.
 """
 
-import pytest
-
 from repro.common.units import GiB, KiB, MiB
 from repro.experiments import fig02, fig03, fig09, fig10, fig11, fig12, fig13
 

@@ -54,9 +54,7 @@ class TestChunkDrop:
         rng = np.random.default_rng(0)
         model = make_loss_model(**kw)
         n_packets = 600_000
-        mask = np.array(
-            [model.drops(rng, 4096) for _ in range(n_packets)], dtype=bool
-        )
+        mask = model.drop_mask(rng, np.full(n_packets, 4096))
         for n in (4, 16):
             chunks = mask[: (n_packets // n) * n].reshape(-1, n)
             empirical = chunks.any(axis=1).mean()

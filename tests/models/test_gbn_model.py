@@ -66,7 +66,6 @@ class TestGbnModel:
             assert sr <= gbn * 1.02, f"SR must dominate GBN at p={drop}"
 
     def test_small_window_throttles(self):
-        p = params(drop=0.0)
         m = 2048
         # A window much smaller than the BDP cannot keep the pipe full...
         # in this injection-time model, window only matters via rewinds, so

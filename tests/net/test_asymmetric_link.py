@@ -1,7 +1,5 @@
 """Asymmetric duplex links (thin return path for control traffic)."""
 
-import pytest
-
 from repro.common.config import ChannelConfig
 from repro.common.units import KiB
 from repro.reliability.sr import SrConfig, SrReceiver, SrSender

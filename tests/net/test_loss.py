@@ -68,6 +68,37 @@ class TestGilbertElliott:
         cond = pairs / max(1, sum(seq[:-1]))
         assert cond > 5 * marginal
 
+    def test_mask_matches_stationary_rate(self):
+        rng = np.random.default_rng(9)
+        model = GilbertElliottLoss(p_good=0.0, p_bad=0.5, p_gb=0.02, p_bg=0.1)
+        mask = model.drop_mask(rng, np.full(200_000, 1024))
+        assert mask.mean() == pytest.approx(model.average_loss_rate, rel=0.15)
+
+    def test_mask_is_bursty(self):
+        rng = np.random.default_rng(10)
+        model = GilbertElliottLoss(p_good=0.0, p_bad=0.7, p_gb=1e-3, p_bg=0.05)
+        mask = model.drop_mask(rng, np.full(100_000, 1024))
+        marginal = mask.mean()
+        pairs = (mask[:-1] & mask[1:]).sum()
+        cond = pairs / max(1, mask[:-1].sum())
+        assert cond > 5 * marginal
+
+    def test_mask_carries_state_across_calls(self):
+        # Force the chain into the bad state, then check a subsequent
+        # drop_mask call starts from it (p_bg tiny => it stays bad).
+        rng = np.random.default_rng(11)
+        model = GilbertElliottLoss(p_good=0.0, p_bad=1.0, p_gb=1.0, p_bg=1e-9)
+        first = model.drop_mask(rng, np.full(10, 1024))
+        assert first[1:].all()  # bad from packet 2 onward, drops always
+        assert model._bad
+        assert model.drop_mask(rng, np.full(10, 1024)).all()
+
+    def test_mask_empty_input(self):
+        rng = np.random.default_rng(12)
+        model = GilbertElliottLoss()
+        mask = model.drop_mask(rng, np.zeros(0, dtype=int))
+        assert mask.shape == (0,) and mask.dtype == bool
+
     def test_invalid_params(self):
         with pytest.raises(ConfigError):
             GilbertElliottLoss(p_bad=1.5)

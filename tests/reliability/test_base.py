@@ -3,10 +3,8 @@
 import pytest
 
 from repro.common.errors import ConfigError
-from repro.reliability.base import ControlPath, ReceiveTicket, WriteTicket
+from repro.reliability.base import ReceiveTicket, WriteTicket
 from repro.reliability.messages import Ack, EcAck
-
-from tests.conftest import make_sdr_pair
 
 
 class TestControlPath:

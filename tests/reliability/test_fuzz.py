@@ -7,7 +7,6 @@ byte lands where it belongs.
 """
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

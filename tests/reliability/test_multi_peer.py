@@ -8,9 +8,6 @@ simultaneously; the adaptive layer provisions SR on one connection and EC
 on the other.
 """
 
-import numpy as np
-import pytest
-
 from repro.common.config import ChannelConfig, SdrConfig
 from repro.common.units import KiB, MiB
 from repro.reliability.adaptive import (

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.common.errors import ConfigError, ResourceError, SdrStateError
-from repro.common.units import KiB, MiB
+from repro.common.units import KiB
 from repro.sdr.qp import SdrRecvWr, SdrSendWr
 
 from tests.conftest import make_sdr_pair

@@ -1,11 +1,7 @@
 """Send/receive handle state machines."""
 
-import pytest
-
 from repro.common.units import KiB
 from repro.sdr.qp import SdrRecvWr, SdrSendWr
-
-from tests.conftest import make_sdr_pair
 
 
 class TestSendHandle:

@@ -1,13 +1,10 @@
 """Streaming sends: offsets, retransmission, completion semantics."""
 
-import numpy as np
 import pytest
 
 from repro.common.errors import ConfigError, SdrStateError
 from repro.common.units import KiB
 from repro.sdr.qp import SdrRecvWr, SdrSendWr
-
-from tests.conftest import make_sdr_pair
 
 
 class TestStreaming:

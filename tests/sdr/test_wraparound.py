@@ -8,8 +8,7 @@ verify data integrity and generation rotation across the boundary.
 
 import pytest
 
-from repro.common.config import SdrConfig
-from repro.common.units import KiB, MiB
+from repro.common.units import KiB
 from repro.sdr.qp import SdrRecvWr, SdrSendWr
 
 from tests.conftest import make_sdr_pair

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim.engine import Event, Interrupt, Simulator
+from repro.sim.engine import Interrupt, Simulator
 from repro.sim.engine import SimulationError
 
 

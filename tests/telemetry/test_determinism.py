@@ -1,0 +1,45 @@
+"""Two same-seed runs must emit byte-identical traces and equal metrics.
+
+Trace events are stamped with simulated time only, serialized as canonical
+JSON (sorted keys, fixed separators), and track names come from
+deterministic ``Telemetry.unique`` sequences -- so the whole observability
+surface is a pure function of the seed.
+"""
+
+import io
+
+from repro.telemetry import ChromeTraceSink, JsonlSink, Telemetry
+from repro.telemetry.demo import run_demo
+
+MIB = 1 << 20
+
+
+def _run(seed: int):
+    jsonl_buf = io.StringIO()
+    chrome = ChromeTraceSink()
+    telemetry = Telemetry(trace=True, trace_sinks=[JsonlSink(jsonl_buf), chrome])
+    result = run_demo(
+        protocol="sr", messages=2, message_bytes=MIB, drop=0.02, seed=seed,
+        telemetry=telemetry,
+    )
+    return result, jsonl_buf.getvalue(), chrome.to_json()
+
+
+class TestDeterminism:
+    def test_same_seed_byte_identical(self):
+        result_a, jsonl_a, chrome_a = _run(seed=5)
+        result_b, jsonl_b, chrome_b = _run(seed=5)
+        assert jsonl_a  # the run actually traced something
+        assert jsonl_a == jsonl_b
+        assert chrome_a == chrome_b
+        assert (
+            result_a.telemetry.metrics.snapshot()
+            == result_b.telemetry.metrics.snapshot()
+        )
+        assert result_a.elapsed == result_b.elapsed
+
+    def test_different_seed_diverges(self):
+        # Sanity: the equality above is meaningful, not vacuous.
+        _, jsonl_a, _ = _run(seed=5)
+        _, jsonl_b, _ = _run(seed=6)
+        assert jsonl_a != jsonl_b

@@ -1,0 +1,198 @@
+"""MetricsRegistry: scoping, get-or-create, histograms, null path."""
+
+import math
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.telemetry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Telemetry,
+)
+from repro.telemetry.metrics import NULL_COUNTER, NULL_GAUGE, NULL_HISTOGRAM
+
+
+class TestCounterGauge:
+    def test_counter_counts(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(3)
+        assert c.value == 4
+        c.reset()
+        assert c.value == 0
+
+    def test_counter_float_increments(self):
+        c = Counter("busy")
+        c.inc(0.25)
+        c.inc(0.5)
+        assert c.value == pytest.approx(0.75)
+
+    def test_gauge_set_add(self):
+        g = Gauge("depth")
+        g.set(5)
+        g.add(-2)
+        assert g.value == 3
+        g.reset()
+        assert g.value == 0.0
+
+
+class TestHistogram:
+    def test_power_of_two_bucketing(self):
+        h = Histogram("t")
+        for v in (0.75, 3.0, 3.9, 1000.0):
+            h.observe(v)
+        spans = [(lo, hi) for lo, hi, _ in h.buckets()]
+        # 0.75 in [0.5,1), 3.0 and 3.9 in [2,4), 1000 in [512,1024)
+        assert spans == [(0.5, 1.0), (2.0, 4.0), (512.0, 1024.0)]
+        counts = [n for _, _, n in h.buckets()]
+        assert counts == [1, 2, 1]
+        for lo, hi, _ in h.buckets():
+            assert hi == 2 * lo
+
+    def test_zero_bucket(self):
+        h = Histogram("t")
+        h.observe(0.0)
+        h.observe(1.5)
+        assert h.buckets()[0] == (0.0, 0.0, 1)
+        assert h.percentile(25) == 0.0
+
+    def test_summary_stats(self):
+        h = Histogram("t")
+        for v in (1.0, 2.0, 3.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.sum == pytest.approx(6.0)
+        assert h.mean == pytest.approx(2.0)
+        assert h.min == 1.0
+        assert h.max == 3.0
+
+    def test_percentile_geometric_midpoint(self):
+        h = Histogram("t")
+        for _ in range(100):
+            h.observe(3.0)  # bucket [2, 4)
+        assert h.percentile(50) == pytest.approx(math.sqrt(8.0))
+        assert h.percentile(99) == pytest.approx(math.sqrt(8.0))
+
+    def test_percentile_orders_buckets(self):
+        h = Histogram("t")
+        for _ in range(99):
+            h.observe(1.5)  # [1, 2)
+        h.observe(100.0)  # [64, 128)
+        assert h.percentile(50) == pytest.approx(math.sqrt(2.0))
+        assert h.percentile(100) == pytest.approx(math.sqrt(64 * 128))
+
+    def test_empty_histogram(self):
+        h = Histogram("t")
+        assert h.percentile(99) == 0.0
+        assert h.mean == 0.0
+        assert h.snapshot()["count"] == 0
+
+    def test_rejects_negative(self):
+        h = Histogram("t")
+        with pytest.raises(ConfigError):
+            h.observe(-1.0)
+
+    def test_rejects_bad_percentile(self):
+        h = Histogram("t")
+        with pytest.raises(ConfigError):
+            h.percentile(101)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a.b") is reg.counter("a.b")
+        assert len(reg) == 1
+
+    def test_type_mismatch_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("a.b")
+        with pytest.raises(ConfigError):
+            reg.gauge("a.b")
+        with pytest.raises(ConfigError):
+            reg.histogram("a.b")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ConfigError):
+            MetricsRegistry().counter("")
+
+    def test_scope_prefixes_names(self):
+        reg = MetricsRegistry()
+        scope = reg.scope("sr.dc-a")
+        c = scope.counter("rto_fires")
+        assert c.name == "sr.dc-a.rto_fires"
+        assert reg.get("sr.dc-a.rto_fires") is c
+
+    def test_nested_scopes(self):
+        reg = MetricsRegistry()
+        inner = reg.scope("verbs").scope("dev0")
+        assert inner.prefix == "verbs.dev0"
+        assert inner.counter("x").name == "verbs.dev0.x"
+
+    def test_names_prefix_filter_is_dotted(self):
+        reg = MetricsRegistry()
+        reg.counter("sr.dc-a.x")
+        reg.counter("sr.dc-ab.x")  # must NOT match prefix "sr.dc-a"
+        assert reg.names("sr.dc-a") == ["sr.dc-a.x"]
+        assert reg.names("sr") == ["sr.dc-a.x", "sr.dc-ab.x"]
+        assert reg.names() == ["sr.dc-a.x", "sr.dc-ab.x"]
+
+    def test_value_and_snapshot(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc(2)
+        reg.gauge("b").set(7)
+        reg.histogram("h").observe(1.0)
+        assert reg.value("a") == 2
+        assert reg.value("missing", default=-1) == -1
+        with pytest.raises(ConfigError):
+            reg.value("h")
+        snap = reg.snapshot()
+        assert snap["a"] == 2 and snap["b"] == 7
+        assert snap["h"]["count"] == 1
+
+    def test_reset_keeps_registrations(self):
+        reg = MetricsRegistry()
+        c = reg.counter("a")
+        c.inc(5)
+        reg.reset()
+        assert len(reg) == 1
+        assert c.value == 0
+        assert reg.counter("a") is c
+
+
+class TestDisabledRegistry:
+    def test_null_singletons(self):
+        reg = MetricsRegistry(enabled=False)
+        assert reg.counter("a") is NULL_COUNTER
+        assert reg.gauge("b") is NULL_GAUGE
+        assert reg.histogram("c") is NULL_HISTOGRAM
+        assert len(reg) == 0
+
+    def test_null_instruments_are_inert(self):
+        reg = MetricsRegistry(enabled=False)
+        c, g, h = reg.counter("a"), reg.gauge("b"), reg.histogram("c")
+        c.inc(10)
+        g.set(10)
+        h.observe(10.0)
+        assert c.value == 0 and g.value == 0 and h.count == 0
+        assert h.percentile(99) == 0.0
+        assert reg.snapshot() == {}
+
+    def test_scopes_work_when_disabled(self):
+        reg = MetricsRegistry(enabled=False)
+        assert reg.scope("x").scope("y").counter("z") is NULL_COUNTER
+
+
+class TestTelemetryFacade:
+    def test_defaults(self):
+        t = Telemetry()
+        assert t.metrics.enabled
+        assert not t.trace.enabled
+
+    def test_unique_sequences_per_label(self):
+        t = Telemetry()
+        assert [t.unique("cq") for _ in range(3)] == ["cq0", "cq1", "cq2"]
+        assert t.unique("qp") == "qp0"

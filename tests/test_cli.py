@@ -47,6 +47,50 @@ class TestCampaign:
         assert "Figure 2" in out
 
 
+class TestReport:
+    def test_report_prints_layer_tables(self, capsys):
+        assert main(
+            ["report", "--messages", "2", "--size-mib", "1", "--seed", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Run summary" in out
+        assert "Channels (net.*)" in out
+        assert "SDR endpoints (sdr.*)" in out
+        assert "Reliability" in out
+        assert "DPA workers" in out
+        assert "dc-a<->dc-b.fwd" in out
+
+    def test_report_ec_protocol(self, capsys):
+        assert main(
+            ["report", "--protocol", "ec", "--messages", "1",
+             "--size-mib", "2", "--drop", "0.05", "--seed", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "via EC" in out
+        assert "ec" in out
+
+    def test_report_bad_config_clean_error(self, capsys):
+        assert main(["report", "--messages", "0"]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "messages" in err
+
+    def test_report_trace_dumps(self, capsys, tmp_path):
+        import json
+
+        chrome = tmp_path / "trace.json"
+        jsonl = tmp_path / "trace.jsonl"
+        assert main(
+            ["report", "--messages", "1", "--size-mib", "1", "--seed", "1",
+             "--trace", str(chrome), "--trace-jsonl", str(jsonl)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Chrome trace written" in out
+        assert "JSONL trace written" in out
+        doc = json.loads(chrome.read_text())
+        assert doc["traceEvents"]
+        assert all(json.loads(line) for line in jsonl.read_text().splitlines())
+
+
 class TestExperiments:
     def test_experiments_subset(self, capsys):
         assert main(["experiments", "fig12"]) == 0

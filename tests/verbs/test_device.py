@@ -8,8 +8,6 @@ from repro.sim.engine import Simulator
 from repro.verbs.device import Fabric
 from repro.verbs.mr import MemoryRegion
 
-from tests.verbs.conftest import make_wire
-
 
 class TestFabric:
     def test_duplicate_device_rejected(self):

@@ -6,8 +6,6 @@ from repro.common.errors import ConfigError
 from repro.common.units import KiB
 from repro.verbs.qp import SendWr, UdQp
 
-from tests.verbs.conftest import make_wire
-
 
 def make_pair(wire):
     qa = UdQp(wire.a, send_cq=wire.cq("a"), recv_cq=wire.cq("a.r"))
