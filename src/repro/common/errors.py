@@ -31,6 +31,29 @@ class ProtocolError(ReproError):
     """A reliability-protocol invariant was violated (malformed ACK, etc.)."""
 
 
+class DeliveryError(ProtocolError):
+    """A reliable write gave up after exhausting its retry budget.
+
+    The graceful-degradation completion: instead of retransmitting forever
+    (or wedging), the sender surfaces the partial result.  ``bitmap`` is the
+    packed delivered-chunk bitmap (``numpy.packbits`` layout, chunk 0 in the
+    MSB of byte 0) so callers can resume or discard precisely.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        delivered_chunks: int = 0,
+        total_chunks: int = 0,
+        bitmap: bytes = b"",
+    ):
+        super().__init__(message)
+        self.delivered_chunks = int(delivered_chunks)
+        self.total_chunks = int(total_chunks)
+        self.bitmap = bytes(bitmap)
+
+
 class DecodeFailure(ReproError):
     """An erasure-coded submessage could not be recovered.
 

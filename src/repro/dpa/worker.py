@@ -19,7 +19,7 @@ from dataclasses import dataclass
 
 from repro.common.config import DpaConfig
 from repro.common.errors import ConfigError
-from repro.sim.engine import Simulator
+from repro.sim.engine import Event, Process, Simulator
 from repro.verbs.cq import CompletionQueue, Cqe
 
 #: Handler invoked once a worker finishes processing a CQE.  Returns True
@@ -50,7 +50,10 @@ class DpaWorker:
         self.config = config
         self.name = name
         self._queues: list[tuple[CompletionQueue, CqeHandler]] = []
-        self._proc: object | None = None
+        self._proc: Process | None = None
+        self._wake: Event | None = None
+        self._stall_until = 0.0
+        self.crashed = False
         scope = sim.telemetry.metrics.scope(f"dpa.{name}")
         self._m_cqes = scope.counter("cqes_processed")
         self._m_chunks = scope.counter("chunks_closed")
@@ -69,9 +72,31 @@ class DpaWorker:
 
     def assign(self, cq: CompletionQueue, handler: CqeHandler) -> None:
         """Add a CQ (with its backend handler) to this worker's poll set."""
+        if self.crashed:
+            raise ConfigError(f"{self.name} has crashed; cannot assign CQs")
         self._queues.append((cq, handler))
         if self._proc is None:
             self._proc = self.sim.process(self._run())
+        elif self._wake is not None and not self._wake.triggered:
+            # The worker may be asleep waiting on its *previous* CQ set;
+            # kick it so the new queue is polled immediately.
+            self._wake.succeed(None)
+
+    def stall_until(self, time: float) -> None:
+        """Freeze CQE processing until absolute simulated ``time``.
+
+        A CQE already being processed finishes first (the thread is
+        preempted between completions, not mid-completion).
+        """
+        self._stall_until = max(self._stall_until, time)
+
+    def crash(self) -> None:
+        """Kill this worker: its process stops and no CQs may be assigned."""
+        if self.crashed:
+            return
+        self.crashed = True
+        if self._proc is not None and self._proc.is_alive:
+            self._proc.interrupt("dpa_crash")
 
     def _next_cqe(self) -> tuple[Cqe, CqeHandler] | None:
         for cq, handler in self._queues:
@@ -82,11 +107,16 @@ class DpaWorker:
 
     def _run(self):
         while True:
+            while self.sim.now < self._stall_until:
+                yield self.sim.timeout(self._stall_until - self.sim.now)
             nxt = self._next_cqe()
             if nxt is None:
+                self._wake = self.sim.event()
                 yield self.sim.any_of(
                     [cq.wait_nonempty() for cq, _ in self._queues]
+                    + [self._wake]
                 )
+                self._wake = None
                 continue
             cqe, handler = nxt
             start = self.sim.now
@@ -117,6 +147,10 @@ class DpaEngine:
         self.name = name
         self.workers: list[DpaWorker] = []
         self._next_worker = 0
+        #: CQs stranded by a crash when no live worker remained; the
+        #: reliability layers' retry budgets / global timeouts turn the
+        #: resulting silence into clean error completions.
+        self.orphaned: list[tuple[CompletionQueue, CqeHandler]] = []
 
     def spawn_workers(self, count: int | None = None) -> None:
         """Create the worker pool (default: ``config.worker_threads``)."""
@@ -138,12 +172,40 @@ class DpaEngine:
             )
 
     def attach(self, cq: CompletionQueue, handler: CqeHandler) -> None:
-        """Map ``cq`` onto the next worker round-robin with its handler."""
+        """Map ``cq`` onto the next live worker round-robin with its handler."""
         if not self.workers:
             self.spawn_workers()
-        worker = self.workers[self._next_worker % len(self.workers)]
+        alive = [w for w in self.workers if not w.crashed]
+        if not alive:
+            self.orphaned.append((cq, handler))
+            return
+        worker = alive[self._next_worker % len(alive)]
         self._next_worker += 1
         worker.assign(cq, handler)
+
+    # -- fault injection ---------------------------------------------------------
+
+    def stall_worker(self, index: int, *, until: float) -> None:
+        """Freeze worker ``index`` until absolute simulated time ``until``."""
+        self.workers[index].stall_until(until)
+
+    def crash_worker(self, index: int) -> int:
+        """Kill worker ``index`` and fail its CQs over to surviving workers.
+
+        Returns the number of CQs reassigned.  With no survivors the queues
+        are orphaned: completions stop flowing and the sender-side retry
+        budget / global timeout must surface the failure.
+        """
+        worker = self.workers[index]
+        moved, worker._queues = worker._queues, []
+        worker.crash()
+        alive = [w for w in self.workers if not w.crashed]
+        if not alive:
+            self.orphaned.extend(moved)
+            return 0
+        for i, (cq, handler) in enumerate(moved):
+            alive[i % len(alive)].assign(cq, handler)
+        return len(moved)
 
     # -- statistics --------------------------------------------------------------
 

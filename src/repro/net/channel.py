@@ -128,10 +128,13 @@ class Channel:
         self._busy_until = done
 
         if self.loss.drops(self.rng, packet.length):
+            # A wire (loss-model) drop still consumed serialization time,
+            # unlike a tail drop; the distinct instant name keeps the two
+            # separable in chaos traces.
             self._m_dropped.inc()
             if self._trace.enabled:
                 self._trace.instant(
-                    "drop", cat="net", track=self._track,
+                    "loss_drop", cat="net", track=self._track,
                     psn=packet.psn, bytes=packet.length,
                 )
             return done

@@ -30,7 +30,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.common.errors import ConfigError
+from repro.common.errors import ConfigError, ProtocolError
 from repro.models.ec_model import ec_expected_completion
 from repro.models.params import ModelParams
 from repro.models.sr_model import sr_expected_completion
@@ -202,13 +202,17 @@ class AdaptiveReceiver:
         return "ec" if best.name.startswith("ec") else "sr"
 
     def _announce(self, index: int, choice: str, ticket: ReceiveTicket):
-        """Send the provision, refreshing until the message completes."""
+        """Send the provision, re-announcing with capped exponential backoff
+        until the message completes (or fails)."""
+        interval = max(self.rtt, 1e-4)
+        cap = 32.0 * interval
         for _ in range(20):
             self.ctrl.send(Provision(msg_seq=index, protocol=choice))
             self._m_provisions_sent.inc()
-            if ticket.finish_time is not None:
+            if ticket.done.triggered:
                 return
-            yield self.sim.timeout(max(self.rtt, 1e-4))
+            yield self.sim.timeout(interval)
+            interval = min(interval * 2.0, cap)
 
     def _learn(self, ticket: ReceiveTicket, length: int) -> None:
         total = self.qp.config.chunks_in(length)
@@ -232,11 +236,15 @@ class AdaptiveSender:
         sr_config: SrConfig | None = None,
         ec_config: EcConfig | None = None,
         rtt: float | None = None,
+        provision_timeout_rtts: float | None = 200.0,
     ):
+        if provision_timeout_rtts is not None and provision_timeout_rtts <= 0:
+            raise ConfigError("provision_timeout_rtts must be > 0 or None")
         self.qp = qp
         self.sim = qp.sim
         self.ctrl = ctrl
         self.rtt = rtt if rtt is not None else qp.ctx.channel_rtt_hint()
+        self.provision_timeout_rtts = provision_timeout_rtts
         ec_config = ec_config if ec_config is not None else EcConfig()
         self.sr = SrSender(qp, ctrl, sr_config, rtt=self.rtt)
         self.ec = EcSender(qp, ctrl, ec_config, rtt=self.rtt)
@@ -244,6 +252,8 @@ class AdaptiveSender:
         self._provisions: dict[int, str] = {}
         self._waiters: dict[int, object] = {}
         self._msg_index = 0
+        scope = self.sim.telemetry.metrics.scope(f"adaptive.{qp.ctx.device.name}")
+        self._m_provision_timeouts = scope.counter("provision_timeouts")
         ctrl.on_message(self._on_ctrl)
 
     def write(self, length: int, payload: bytes | None = None) -> WriteTicket:
@@ -264,11 +274,35 @@ class AdaptiveSender:
 
     def _dispatch(self, facade: WriteTicket, index: int, length: int, payload):
         choice = self._provisions.get(index)
+        deadline = (
+            None
+            if self.provision_timeout_rtts is None
+            else self.sim.now + self.provision_timeout_rtts * self.rtt
+        )
         while choice is None:
             wake = self.sim.event()
             self._waiters[index] = wake
-            yield wake
+            if deadline is None:
+                yield wake
+            else:
+                yield self.sim.any_of(
+                    [wake, self.sim.timeout(max(deadline - self.sim.now, 0.0))]
+                )
             choice = self._provisions.get(index)
+            if choice is None and deadline is not None and self.sim.now >= deadline:
+                # The control plane never delivered a provision: surface a
+                # clean failure instead of queueing the write forever.
+                self._waiters.pop(index, None)
+                self._m_provision_timeouts.inc()
+                facade.failed = True
+                if not facade.done.triggered:
+                    facade.done.fail(
+                        ProtocolError(
+                            f"no provision for message {index} within "
+                            f"{self.provision_timeout_rtts:g} RTTs"
+                        )
+                    )
+                return
         self.protocol_history.append(choice)
         backend = self.ec if choice == "ec" else self.sr
         inner = backend.write(length, payload)

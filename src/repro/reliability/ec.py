@@ -58,6 +58,9 @@ class EcConfig:
     grace_rtts: float = 10.0
     #: Sender-side deadlock guard, in RTTs past the expected completion.
     global_timeout_rtts: float = 200.0
+    #: Receiver-side liveness valve: stop the fallback NACK loop after this
+    #: many RTTs past the FTO (None = NACK forever, the default).
+    serve_deadline_rtts: float | None = None
 
     def __post_init__(self) -> None:
         if self.k <= 0 or self.m <= 0:
@@ -71,6 +74,10 @@ class EcConfig:
             raise ConfigError(
                 f"need >= 1 encode worker, got {self.encode_workers}"
             )
+        if self.global_timeout_rtts <= 0:
+            raise ConfigError("global_timeout_rtts must be > 0")
+        if self.serve_deadline_rtts is not None and self.serve_deadline_rtts <= 0:
+            raise ConfigError("serve_deadline_rtts must be > 0 or None")
 
     @property
     def parity_ratio(self) -> float:
@@ -252,9 +259,17 @@ class EcSender:
             self._m_writes_failed.inc()
             state.ticket.failed = True
             self._states.pop(state.ticket.seq, None)
+            if self._trace.enabled:
+                self._trace.instant(
+                    "global_timeout", cat="ec", track=self._track,
+                    seq=state.ticket.seq,
+                )
             if not state.ticket.done.triggered:
                 state.ticket.done.fail(
-                    ProtocolError(f"EC write seq={state.ticket.seq} timed out")
+                    ProtocolError(
+                        f"EC write seq={state.ticket.seq} saw no ACK within "
+                        f"the global timeout"
+                    )
                 )
 
     # -- control-path handling --------------------------------------------------------------
@@ -432,6 +447,11 @@ class EcReceiver:
         yield self.sim.any_of([first_chunk, self.sim.timeout(guard)])
 
         fto_deadline = self.sim.now + self._fto(layout)
+        serve_deadline = (
+            None
+            if self.config.serve_deadline_rtts is None
+            else fto_deadline + self.config.serve_deadline_rtts * self.rtt
+        )
         # Phase 2: wait until recoverable or FTO expiry.
         while True:
             pending = [
@@ -442,6 +462,15 @@ class EcReceiver:
             ]
             if not pending:
                 break
+            if serve_deadline is not None and self.sim.now >= serve_deadline:
+                if not ticket.done.triggered:
+                    ticket.done.fail(
+                        ProtocolError(
+                            f"EC receive seq={ticket.seq} unrecoverable at "
+                            f"serve deadline"
+                        )
+                    )
+                return
             if self.sim.now >= fto_deadline:
                 ticket.fell_back_to_sr = True
                 self._send_nack(ticket.seq, layout, pending, data_handles)

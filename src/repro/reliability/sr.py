@@ -21,7 +21,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.common.config import SdrConfig
-from repro.common.errors import ConfigError, ProtocolError
+from repro.common.errors import ConfigError, DeliveryError
 from repro.reliability.base import ControlPath, ReceiveTicket, WriteTicket
 from repro.reliability.messages import Ack, SrNack
 from repro.sdr.handles import RecvHandle, SendHandle
@@ -51,6 +51,25 @@ class SrConfig:
     #: Safety valve: a write fails after this many retransmissions of a
     #: single chunk (pathological channels only).
     max_chunk_retransmits: int = 100
+    #: Jacobson/Karn adaptive RTO: estimate SRTT/RTTVAR from ACK timestamps
+    #: (RTO = SRTT + 4*RTTVAR, samples only from never-retransmitted chunks)
+    #: instead of the fixed ``rto_rtts * RTT``.
+    adaptive_rto: bool = False
+    #: Clamp for the adaptive RTO estimate, in RTTs.
+    min_rto_rtts: float = 1.0
+    max_rto_rtts: float = 64.0
+    #: Double the RTO on consecutive timer fires (capped at ``2**backoff_cap``
+    #: and by ``max_rto_rtts``); reset on ACK progress.
+    rto_backoff: bool = False
+    backoff_cap: int = 6
+    #: Per-message retransmission budget (None = unlimited).  Exhausting it
+    #: degrades gracefully: the write fails with a
+    #: :class:`~repro.common.errors.DeliveryError` carrying the partial
+    #: delivered-chunk bitmap instead of retransmitting forever.
+    max_message_retransmits: int | None = None
+    #: Receiver-side liveness valve: give up serving an incomplete message
+    #: after this many RTTs (None = wait forever, the default).
+    serve_deadline_rtts: float | None = None
 
     def __post_init__(self) -> None:
         if self.rto_rtts <= 0:
@@ -61,6 +80,16 @@ class SrConfig:
             raise ConfigError("ack_window_bytes must be > 0")
         if self.max_chunk_retransmits <= 0:
             raise ConfigError("max_chunk_retransmits must be > 0")
+        if self.min_rto_rtts <= 0:
+            raise ConfigError(f"min_rto_rtts must be > 0, got {self.min_rto_rtts}")
+        if self.max_rto_rtts < self.min_rto_rtts:
+            raise ConfigError("max_rto_rtts must be >= min_rto_rtts")
+        if self.backoff_cap < 0:
+            raise ConfigError(f"backoff_cap must be >= 0, got {self.backoff_cap}")
+        if self.max_message_retransmits is not None and self.max_message_retransmits <= 0:
+            raise ConfigError("max_message_retransmits must be > 0 or None")
+        if self.serve_deadline_rtts is not None and self.serve_deadline_rtts <= 0:
+            raise ConfigError("serve_deadline_rtts must be > 0 or None")
 
 
 class _SendState:
@@ -73,6 +102,9 @@ class _SendState:
         self.unacked = np.ones(nchunks, dtype=bool)
         self.deadline = np.full(nchunks, np.inf)
         self.retransmit_count = np.zeros(nchunks, dtype=np.int64)
+        #: Simulated time each chunk last hit the wire (NaN = not yet);
+        #: feeds Jacobson RTT samples and the NACK holdoff.
+        self.sent_at = np.full(nchunks, np.nan)
         self.inject_done = False
 
     @property
@@ -96,7 +128,10 @@ class SrSender:
         self.ctrl = ctrl
         self.config = config if config is not None else SrConfig()
         self.rtt = rtt if rtt is not None else qp.ctx.channel_rtt_hint()
-        self.rto = self.config.rto_rtts * self.rtt
+        self._base_rto = self.config.rto_rtts * self.rtt
+        self._srtt: float | None = None
+        self._rttvar = 0.0
+        self._backoff = 0
         ctrl.on_message(self._on_ctrl)
         self._states: dict[int, _SendState] = {}
         self._timer_wake: Event | None = None
@@ -110,6 +145,37 @@ class SrSender:
         self._h_write_seconds = scope.histogram("write_seconds")
         self._trace = self.sim.telemetry.trace
         self._track = f"sr.{qp.ctx.device.name}"
+
+    @property
+    def rto(self) -> float:
+        """Current retransmission timeout.
+
+        Fixed ``rto_rtts * RTT`` by default; with ``adaptive_rto`` the
+        Jacobson estimate ``SRTT + 4*RTTVAR`` clamped to
+        ``[min_rto_rtts, max_rto_rtts] * RTT``.  With ``rto_backoff`` the
+        result is doubled per consecutive timer fire (Karn's backoff),
+        still capped by ``max_rto_rtts``.
+        """
+        if self.config.adaptive_rto and self._srtt is not None:
+            rto = self._srtt + 4.0 * self._rttvar
+            rto = min(
+                max(rto, self.config.min_rto_rtts * self.rtt),
+                self.config.max_rto_rtts * self.rtt,
+            )
+        else:
+            rto = self._base_rto
+        if self._backoff:
+            rto = min(rto * (2.0 ** self._backoff), self.config.max_rto_rtts * self.rtt)
+        return rto
+
+    def _rtt_sample(self, sample: float) -> None:
+        """Fold one clean (Karn-valid) RTT measurement into SRTT/RTTVAR."""
+        if self._srtt is None:
+            self._srtt = sample
+            self._rttvar = sample / 2.0
+        else:
+            self._rttvar = 0.75 * self._rttvar + 0.25 * abs(self._srtt - sample)
+            self._srtt = 0.875 * self._srtt + 0.125 * sample
 
     # -- public API -----------------------------------------------------------------
 
@@ -156,6 +222,7 @@ class SrSender:
                 yield self.sim.timeout(self._pacing_quantum())
             if state.unacked[index]:
                 state.deadline[index] = self.sim.now + self.rto
+                state.sent_at[index] = self.sim.now
                 self._kick_timer()
             if state.complete:
                 break
@@ -195,6 +262,12 @@ class SrSender:
 
     def _fire_expired(self) -> None:
         now = self.sim.now
+        if self.config.rto_backoff and any(
+            (s.unacked & (s.deadline <= now)).any() for s in self._states.values()
+        ):
+            # Back off *before* restamping so the new deadlines already
+            # carry the doubled timeout (Karn's backoff).
+            self._backoff = min(self._backoff + 1, self.config.backoff_cap)
         for state in list(self._states.values()):
             expired = np.flatnonzero(state.unacked & (state.deadline <= now))
             for index in expired:
@@ -202,6 +275,8 @@ class SrSender:
                 state.retransmit_count[index] += 1
                 if state.retransmit_count[index] > self.config.max_chunk_retransmits:
                     self._fail(state, f"chunk {index} exceeded retransmit budget")
+                    break
+                if self._budget_exhausted(state):
                     break
                 self._m_rto_fires.inc()
                 self._m_retransmitted.inc()
@@ -212,14 +287,41 @@ class SrSender:
                     )
                 self._send_chunk(state, index)
                 state.deadline[index] = now + self.rto
+                state.sent_at[index] = now
                 state.ticket.retransmitted_chunks += 1
+
+    def _budget_exhausted(self, state: _SendState) -> bool:
+        """Per-message retry budget: fail (gracefully) when spent."""
+        budget = self.config.max_message_retransmits
+        if budget is not None and state.ticket.retransmitted_chunks >= budget:
+            self._fail(
+                state,
+                f"write seq={state.ticket.seq} exceeded message retransmit "
+                f"budget ({budget})",
+            )
+            return True
+        return False
 
     def _fail(self, state: _SendState, reason: str) -> None:
         self._m_writes_failed.inc()
         state.ticket.failed = True
         self._states.pop(state.ticket.seq, None)
+        delivered = ~state.unacked
+        if self._trace.enabled:
+            self._trace.instant(
+                "write_failed", cat="sr", track=self._track,
+                seq=state.ticket.seq, delivered=int(delivered.sum()),
+                total=state.nchunks,
+            )
         if not state.ticket.done.triggered:
-            state.ticket.done.fail(ProtocolError(reason))
+            state.ticket.done.fail(
+                DeliveryError(
+                    reason,
+                    delivered_chunks=int(delivered.sum()),
+                    total_chunks=state.nchunks,
+                    bitmap=np.packbits(delivered).tobytes(),
+                )
+            )
 
     # -- control-path handling ----------------------------------------------------------
 
@@ -228,10 +330,23 @@ class SrSender:
             state = self._states.get(msg.msg_seq)
             if state is None:
                 return
+            now = self.sim.now
+            progress = False
             for index in msg.acked_chunks(state.nchunks):
                 if state.unacked[index]:
                     state.unacked[index] = False
                     state.deadline[index] = np.inf
+                    progress = True
+                    # Karn's rule: only chunks never retransmitted yield an
+                    # unambiguous RTT sample.
+                    if (
+                        self.config.adaptive_rto
+                        and state.retransmit_count[index] == 0
+                        and np.isfinite(state.sent_at[index])
+                    ):
+                        self._rtt_sample(now - state.sent_at[index])
+            if progress:
+                self._backoff = 0
             self._maybe_finish(state)
         elif isinstance(msg, SrNack):
             state = self._states.get(msg.msg_seq)
@@ -243,11 +358,19 @@ class SrSender:
             holdoff = self.config.nack_holdoff_rtts * self.rtt
             for index in msg.chunks:
                 if index < state.nchunks and state.unacked[index]:
-                    # Avoid double-firing with a recent RTO retransmission.
-                    if state.deadline[index] - self.rto > now - holdoff:
+                    index = int(index)
+                    # Skip chunks still injecting or retransmitted recently
+                    # (avoids double-firing with an RTO retransmission).
+                    if not np.isfinite(state.sent_at[index]) or (
+                        now - state.sent_at[index] < holdoff
+                    ):
                         continue
-                    self._send_chunk(state, int(index))
+                    if self._budget_exhausted(state):
+                        return
+                    state.retransmit_count[index] += 1
+                    self._send_chunk(state, index)
                     state.deadline[index] = now + self.rto
+                    state.sent_at[index] = now
                     state.ticket.retransmitted_chunks += 1
                     self._m_retransmitted.inc()
 
@@ -312,8 +435,26 @@ class SrReceiver:
 
     def _serve(self, ticket: ReceiveTicket, rh: RecvHandle):
         interval = self.config.ack_interval_rtts * self.rtt
+        deadline = (
+            None
+            if self.config.serve_deadline_rtts is None
+            else self.sim.now + self.config.serve_deadline_rtts * self.rtt
+        )
         last_nack = np.full(rh.nchunks, -np.inf)
         while not rh.all_chunks_received():
+            if deadline is not None and self.sim.now >= deadline:
+                delivered = rh.bitmap().as_array()
+                if not ticket.done.triggered:
+                    ticket.done.fail(
+                        DeliveryError(
+                            f"receive seq={ticket.seq} incomplete at serve "
+                            f"deadline",
+                            delivered_chunks=int(delivered.sum()),
+                            total_chunks=rh.nchunks,
+                            bitmap=np.packbits(delivered).tobytes(),
+                        )
+                    )
+                return
             yield self.sim.any_of(
                 [self.sim.timeout(interval), rh.wait_all_chunks()]
             )

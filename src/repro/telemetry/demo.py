@@ -13,8 +13,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.common.config import ChannelConfig, DpaConfig, SdrConfig
-from repro.common.errors import ConfigError
+from repro.common.errors import ConfigError, ReproError
 from repro.common.units import KiB, MiB
+from repro.faults import FaultSchedule, install_dpa_faults, install_link_faults
+from repro.reliability.adaptive import AdaptiveReceiver, AdaptiveSender
 from repro.reliability.base import ControlPath, ReceiveTicket, WriteTicket
 from repro.reliability.ec import EcConfig, EcReceiver, EcSender
 from repro.reliability.sr import SrConfig, SrReceiver, SrSender
@@ -41,10 +43,16 @@ class DemoResult:
         return self.sim.telemetry
 
     @property
+    def failed_writes(self) -> int:
+        """Writes that ended in an error completion (retry budget, timeout)."""
+        return sum(1 for t in self.write_tickets if t.failed)
+
+    @property
     def goodput_gbps(self) -> float:
         if self.elapsed <= 0:
             return 0.0
-        return self.messages * self.message_bytes * 8 / self.elapsed / 1e9
+        delivered = self.messages - self.failed_writes
+        return delivered * self.message_bytes * 8 / self.elapsed / 1e9
 
 
 def run_demo(
@@ -62,14 +70,22 @@ def run_demo(
     seed: int = 0,
     nack: bool = False,
     telemetry: Telemetry | None = None,
+    faults: FaultSchedule | None = None,
+    sr_config: SrConfig | None = None,
+    ec_config: EcConfig | None = None,
 ) -> DemoResult:
     """Run ``messages`` reliable writes dc-a -> dc-b over a lossy WAN link.
 
     ``telemetry`` lets the caller pre-attach trace sinks (or disable
-    metrics); the default is metrics-on / trace-off.
+    metrics); the default is metrics-on / trace-off.  ``faults`` runs the
+    transfer under a deterministic fault schedule (both link directions plus
+    the receive-side DPA engine); failed writes are tolerated and surface in
+    :attr:`DemoResult.failed_writes`.
     """
-    if protocol not in ("sr", "ec"):
-        raise ConfigError(f"protocol must be 'sr' or 'ec', got {protocol!r}")
+    if protocol not in ("sr", "ec", "adaptive"):
+        raise ConfigError(
+            f"protocol must be 'sr', 'ec' or 'adaptive', got {protocol!r}"
+        )
     if messages <= 0:
         raise ConfigError(f"messages must be > 0, got {messages}")
 
@@ -84,6 +100,9 @@ def run_demo(
         drop_probability=drop,
     )
     fabric.connect(dev_a, dev_b, channel)
+    if faults is not None:
+        # Must precede QP / control-path connects: QPs cache their channel.
+        install_link_faults(fabric, dev_a, dev_b, faults)
 
     # EC needs 2L SDR receive slots per message (L data + L parity subs).
     sdr_cfg = SdrConfig(
@@ -97,6 +116,8 @@ def run_demo(
     dpa_cfg = DpaConfig()
     ctx_a = context_create(dev_a, sdr_config=sdr_cfg, dpa_config=dpa_cfg)
     ctx_b = context_create(dev_b, sdr_config=sdr_cfg, dpa_config=dpa_cfg)
+    if faults is not None and faults.dpa_windows:
+        install_dpa_faults(sim, ctx_b.dpa, faults)
     qp_a = ctx_a.qp_create()
     qp_b = ctx_b.qp_create()
     qp_a.connect(qp_b.info_get())
@@ -107,13 +128,20 @@ def run_demo(
     ctrl_b.connect(ctrl_a.info())
 
     if protocol == "sr":
-        sr_cfg = SrConfig(nack_enabled=nack)
+        sr_cfg = sr_config if sr_config is not None else SrConfig(nack_enabled=nack)
         sender = SrSender(qp_a, ctrl_a, sr_cfg)
         receiver = SrReceiver(qp_b, ctrl_b, sr_cfg)
-    else:
-        ec_cfg = EcConfig()
+    elif protocol == "ec":
+        ec_cfg = ec_config if ec_config is not None else EcConfig()
         sender = EcSender(qp_a, ctrl_a, ec_cfg)
         receiver = EcReceiver(qp_b, ctrl_b, ec_cfg)
+    else:
+        sender = AdaptiveSender(
+            qp_a, ctrl_a, sr_config=sr_config, ec_config=ec_config
+        )
+        receiver = AdaptiveReceiver(
+            qp_b, ctrl_b, sr_config=sr_config, ec_config=ec_config
+        )
 
     mr = ctx_b.mr_reg(message_bytes)
     write_tickets: list[WriteTicket] = []
@@ -124,12 +152,23 @@ def run_demo(
             recv_tickets.append(receiver.post_receive(mr, message_bytes))
             ticket = sender.write(message_bytes)
             write_tickets.append(ticket)
-            yield ticket.done
+            try:
+                yield ticket.done
+            except ReproError:
+                # Clean error completion (retry budget / timeout); the
+                # failure is recorded on the ticket -- keep driving.
+                pass
 
     done = sim.process(_drive())
     sim.run(done)
     elapsed = sim.now
-    sim.run()  # drain grace-period re-ACK traffic
+    if faults is None:
+        sim.run()  # drain grace-period re-ACK traffic
+    else:
+        # Under faults a receiver may legitimately keep serving an
+        # undeliverable message, so the drain must be bounded: run to the
+        # end of the schedule and leave any residue unprocessed.
+        sim.run(max(sim.now, faults.horizon))
 
     return DemoResult(
         sim=sim,

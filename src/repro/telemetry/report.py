@@ -61,6 +61,27 @@ def build_tables(registry: MetricsRegistry) -> list[Table]:
             )
         tables.append(t)
 
+    faults = _groups(registry, "faults")
+    if faults:
+        t = Table(
+            title="Faults (faults.*)",
+            columns=["target", "drops", "corrupted", "delayed", "duplicated",
+                     "dpa_stalls", "dpa_crashes"],
+            notes="deterministic fault plane (repro.faults); see docs/robustness.md",
+        )
+        for name in sorted(faults):
+            leaves = faults[name]
+            t.add_row(
+                name,
+                int(_val(leaves, "fault_drops")),
+                int(_val(leaves, "fault_corrupted")),
+                int(_val(leaves, "fault_delayed")),
+                int(_val(leaves, "fault_duplicated")),
+                int(_val(leaves, "stalls")),
+                int(_val(leaves, "crashes")),
+            )
+        tables.append(t)
+
     sdr = _groups(registry, "sdr")
     if sdr:
         t = Table(

@@ -68,6 +68,18 @@ class Device:
         self._links[peer] = outgoing
         incoming.attach_sink(self._rx)
 
+    def replace_link(self, peer: str, *, outgoing: Channel, incoming: Channel) -> None:
+        """Swap the channels used to reach ``peer`` (fault-plane insertion).
+
+        QPs cache the outgoing channel when they connect, so wrappers (e.g.
+        :class:`repro.faults.FaultyChannel`) must be installed *before* the
+        QPs that should transmit through them.
+        """
+        if peer not in self._links:
+            raise ConfigError(f"{self.name} has no link to {peer}")
+        self._links[peer] = outgoing
+        incoming.attach_sink(self._rx)
+
     def link_to(self, peer: str) -> Channel:
         try:
             return self._links[peer]

@@ -32,6 +32,9 @@ class TestChannelConfig:
             {"drop_probability": 1.0},
             {"drop_probability": -0.1},
             {"jitter_fraction": -0.5},
+            {"duplicate_probability": 1.0},
+            {"duplicate_probability": -0.1},
+            {"buffer_bytes": -1},
             {"alpha": -1},
         ],
     )

@@ -8,6 +8,7 @@ import pytest
 
 from repro.common.config import ChannelConfig, DpaConfig, SdrConfig
 from repro.common.units import KiB, MiB
+from repro.faults import FaultSchedule, install_link_faults
 from repro.reliability.base import ControlPath
 from repro.sdr.context import SdrContext, context_create
 from repro.sdr.qp import SdrQp
@@ -46,6 +47,7 @@ def make_sdr_pair(
     jitter: float = 0.0,
     seed: int = 0,
     dpa: DpaConfig | None = None,
+    faults: FaultSchedule | None = None,
 ) -> SdrPair:
     sim = Simulator()
     fabric = Fabric(sim, seed=seed)
@@ -59,6 +61,9 @@ def make_sdr_pair(
         jitter_fraction=jitter,
     )
     fabric.connect(dev_a, dev_b, channel)
+    if faults is not None:
+        # Must precede QP / control-path connects: QPs cache their channel.
+        install_link_faults(fabric, dev_a, dev_b, faults)
     sdr_cfg = SdrConfig(
         chunk_bytes=chunk,
         max_message_bytes=max_message,
@@ -96,3 +101,18 @@ def make_sdr_pair(
 def sdr_pair() -> SdrPair:
     """Lossless default pair."""
     return make_sdr_pair()
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--chaos-seed",
+        type=int,
+        default=0,
+        help="base RNG seed for the fault-injection chaos suite (-m chaos)",
+    )
+
+
+@pytest.fixture
+def chaos_seed(request: pytest.FixtureRequest) -> int:
+    """Seed for chaos tests; CI sweeps it via ``--chaos-seed``."""
+    return request.config.getoption("--chaos-seed")

@@ -112,3 +112,89 @@ class TestEngine:
         sim.run(until=2e-3)
         assert engine.utilization(2e-3) == pytest.approx(0.5)
         assert engine.utilization(0) == 0.0
+
+
+class TestFaultInjection:
+    def _engine(self, sim, threads=2):
+        cfg = DpaConfig(
+            worker_threads=threads, per_cqe_seconds=1e-6,
+            pcie_update_seconds=0.0,
+        )
+        engine = DpaEngine(sim, cfg)
+        engine.spawn_workers()
+        return engine
+
+    def test_stall_defers_processing(self):
+        sim = Simulator()
+        engine = self._engine(sim, threads=1)
+        cq = CompletionQueue(sim)
+        seen = []
+        engine.attach(cq, lambda c: (seen.append(sim.now), False)[1])
+        engine.stall_worker(0, until=0.5)
+        for _ in range(3):
+            cq.push(cqe())
+        sim.run(until=0.25)
+        assert seen == []  # frozen inside the window
+        sim.run(until=1.0)
+        assert len(seen) == 3
+        assert all(t >= 0.5 for t in seen)
+
+    def test_stall_extends_not_shrinks(self):
+        sim = Simulator()
+        engine = self._engine(sim, threads=1)
+        engine.stall_worker(0, until=0.5)
+        engine.stall_worker(0, until=0.2)  # shorter: no effect
+        assert engine.workers[0]._stall_until == 0.5
+
+    def test_crash_fails_over_to_survivor(self):
+        sim = Simulator()
+        engine = self._engine(sim, threads=2)
+        cq = CompletionQueue(sim)
+        seen = []
+        engine.attach(cq, lambda c: (seen.append(sim.now), False)[1])
+        sim.call_in(0.5, lambda: engine.crash_worker(0))
+        sim.call_in(0.6, lambda: cq.push(cqe()))
+        sim.run(until=1.0)
+        assert engine.workers[0].crashed
+        assert len(seen) == 1  # the survivor picked up the failed-over CQ
+        assert engine.workers[1].stats.cqes_processed == 1
+
+    def test_crash_with_no_survivors_orphans_queues(self):
+        sim = Simulator()
+        engine = self._engine(sim, threads=1)
+        cq = CompletionQueue(sim)
+        engine.attach(cq, lambda c: False)
+        assert engine.crash_worker(0) == 0
+        assert engine.orphaned and engine.orphaned[0][0] is cq
+        cq.push(cqe())
+        sim.run(until=1.0)
+        assert engine.cqes_processed == 0
+        # Late attaches to a dead pool are orphaned too, not lost.
+        cq2 = CompletionQueue(sim)
+        engine.attach(cq2, lambda c: False)
+        assert len(engine.orphaned) == 2
+
+    def test_assign_to_crashed_worker_rejected(self):
+        sim = Simulator()
+        engine = self._engine(sim, threads=1)
+        engine.crash_worker(0)
+        with pytest.raises(ConfigError):
+            engine.workers[0].assign(CompletionQueue(sim), lambda c: False)
+
+    def test_sleeping_worker_wakes_for_late_assigned_cq(self):
+        sim = Simulator()
+        engine = self._engine(sim, threads=1)
+        worker = engine.workers[0]
+        idle_cq = CompletionQueue(sim)
+        seen = []
+        worker.assign(idle_cq, lambda c: False)  # sleeps on an empty CQ
+
+        def late_assign():
+            late_cq = CompletionQueue(sim)
+            late_cq.push(cqe())
+            worker.assign(late_cq, lambda c: (seen.append(sim.now), False)[1])
+
+        sim.call_in(0.5, late_assign)
+        sim.run(until=1.0)
+        assert len(seen) == 1
+        assert seen[0] == pytest.approx(0.5 + 1e-6)

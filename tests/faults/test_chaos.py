@@ -1,0 +1,219 @@
+"""Chaos suite: every fault kind x every reliability layer stays live.
+
+Liveness here means *termination*: under any scheduled fault every posted
+write either delivers or completes with a clean :class:`ReproError` --
+never a wedge.  The suite also pins the two headline robustness claims:
+same-seed chaos runs are byte-identical, and the adaptive RTO estimator
+beats the fixed RTO under delay spikes.
+
+Run standalone with ``pytest -m chaos``; CI sweeps ``--chaos-seed``.
+"""
+
+import io
+
+import pytest
+
+from repro.common.errors import DeliveryError, ReproError
+from repro.common.units import KiB, distance_to_rtt
+from repro.faults import NAMED_SCHEDULES, FaultSchedule, FaultWindow, named_schedule
+from repro.reliability.ec import EcConfig, EcReceiver, EcSender
+from repro.reliability.sr import SrConfig, SrReceiver, SrSender
+from repro.telemetry import JsonlSink, Telemetry
+from repro.telemetry.demo import run_demo
+
+from tests.conftest import make_sdr_pair
+
+pytestmark = pytest.mark.chaos
+
+DISTANCE_KM = 1000.0
+RTT = distance_to_rtt(DISTANCE_KM)
+
+#: Hardened layer configurations: retry budgets, serve deadlines and global
+#: timeouts ensure termination even when a fault outlives all retries.
+LAYERS = {
+    "sr_rto": dict(
+        protocol="sr",
+        sr_config=SrConfig(
+            rto_backoff=True,
+            max_message_retransmits=2000,
+            serve_deadline_rtts=600.0,
+        ),
+    ),
+    "sr_nack": dict(
+        protocol="sr",
+        sr_config=SrConfig(
+            nack_enabled=True,
+            rto_backoff=True,
+            max_message_retransmits=2000,
+            serve_deadline_rtts=600.0,
+        ),
+    ),
+    # k=8/m=4 keeps the parity submessage (m chunks) within the 256 KiB
+    # message cap of the matrix runs.
+    "ec": dict(
+        protocol="ec",
+        ec_config=EcConfig(k=8, m=4, serve_deadline_rtts=600.0),
+    ),
+    "adaptive": dict(
+        protocol="adaptive",
+        sr_config=SrConfig(
+            adaptive_rto=True,
+            rto_backoff=True,
+            max_message_retransmits=2000,
+            serve_deadline_rtts=600.0,
+        ),
+        ec_config=EcConfig(k=8, m=4, serve_deadline_rtts=600.0),
+    ),
+}
+
+
+@pytest.mark.parametrize("layer", sorted(LAYERS))
+@pytest.mark.parametrize("schedule_name", sorted(NAMED_SCHEDULES))
+def test_liveness_matrix(schedule_name, layer, chaos_seed):
+    """Every fault kind x layer combo terminates: delivery or clean error."""
+    schedule = named_schedule(schedule_name, rtt=RTT)
+    result = run_demo(
+        messages=6,
+        message_bytes=256 * KiB,
+        drop=0.0,
+        distance_km=DISTANCE_KM,
+        seed=chaos_seed,
+        faults=schedule,
+        **LAYERS[layer],
+    )
+    for ticket in result.write_tickets:
+        assert ticket.done.triggered, (
+            f"{schedule_name} x {layer}: write seq={ticket.seq} wedged"
+        )
+        if ticket.failed:
+            with pytest.raises(ReproError):
+                ticket.done.value
+    # The first write starts before any window opens (they all start at
+    # 5 RTT), so at least one message always lands.
+    assert result.failed_writes < result.messages
+
+
+def _traced_chaos_run(seed):
+    buf = io.StringIO()
+    run_demo(
+        messages=4,
+        message_bytes=256 * KiB,
+        drop=0.01,
+        distance_km=DISTANCE_KM,
+        seed=seed,
+        faults=named_schedule("chaos-mix", rtt=RTT),
+        telemetry=Telemetry(trace=True, trace_sinks=[JsonlSink(buf)]),
+        **LAYERS["sr_nack"],
+    )
+    return buf.getvalue()
+
+
+def test_same_seed_chaos_traces_are_byte_identical(chaos_seed):
+    first = _traced_chaos_run(chaos_seed)
+    second = _traced_chaos_run(chaos_seed)
+    assert first  # the run actually traced something
+    assert first == second
+
+
+def test_different_seed_chaos_traces_differ(chaos_seed):
+    assert _traced_chaos_run(chaos_seed) != _traced_chaos_run(chaos_seed + 1)
+
+
+def _rto_fires_under_delay_spike(adaptive, seed):
+    """rto_fires for 25 staggered writes under a long ~5-RTT delay spike.
+
+    Karn's backoff is on in both arms (writes stamped while the backoff is
+    elevated are the ones whose ACKs return un-retransmitted and feed the
+    estimator), and both share the 3-RTT floor; the only difference is the
+    fixed RTO vs Jacobson/Karn SRTT tracking.  Writes overlap -- a sender
+    that only ever has one message in flight resets its backoff before the
+    next injection and the estimator would never see a clean sample.
+    """
+    rtt = distance_to_rtt(100.0)  # make_sdr_pair's default link
+    spike = FaultSchedule(
+        (
+            FaultWindow(
+                kind="delay_spike", start=5 * rtt, end=130 * rtt,
+                delay_seconds=4 * rtt, selector="data",
+            ),
+        ),
+        name="long-delay-spike",
+    )
+    pair = make_sdr_pair(seed=seed, faults=spike)
+    cfg = SrConfig(
+        adaptive_rto=adaptive,
+        rto_backoff=True,
+        min_rto_rtts=3.0,
+        max_message_retransmits=5000,
+    )
+    sender = SrSender(pair.qp_a, pair.ctrl_a, cfg)
+    receiver = SrReceiver(pair.qp_b, pair.ctrl_b, cfg)
+    size = 64 * KiB
+    tickets = []
+
+    def post_one():
+        mr = pair.ctx_b.mr_reg(size)
+        receiver.post_receive(mr, size)
+        tickets.append(sender.write(size))
+
+    for i in range(25):
+        pair.sim.call_at(i * 4 * rtt, post_one)
+    pair.sim.run(until=300 * rtt)
+    assert all(t.done.triggered and not t.failed for t in tickets)
+    return pair.sim.telemetry.metrics.value("sr.dc-a.rto_fires")
+
+
+def test_adaptive_rto_beats_fixed_rto_under_delay_spike(chaos_seed):
+    """Acceptance criterion: Jacobson/Karn RTO inflates past the spike while
+    the fixed 3-RTT RTO keeps firing on packets that are merely late."""
+    fixed = _rto_fires_under_delay_spike(False, chaos_seed)
+    adaptive = _rto_fires_under_delay_spike(True, chaos_seed)
+    assert fixed > 0  # the spike defeats the fixed RTO
+    assert adaptive < fixed
+
+
+def test_ec_global_timeout_fires_under_total_blackout(chaos_seed):
+    """Satellite: a permanent blackout trips EcSender's global timeout."""
+    schedule = FaultSchedule(
+        (FaultWindow(kind="blackout", start=0.0),), name="permanent-blackout"
+    )
+    pair = make_sdr_pair(seed=chaos_seed, faults=schedule)
+    cfg = EcConfig(global_timeout_rtts=50.0)
+    sender = EcSender(pair.qp_a, pair.ctrl_a, cfg)
+    receiver = EcReceiver(pair.qp_b, pair.ctrl_b, cfg)
+    size = 256 * KiB
+    mr = pair.ctx_b.mr_reg(size)
+    receiver.post_receive(mr, size)
+    ticket = sender.write(size)
+    pair.sim.run(until=1000 * pair.channel.rtt)
+    assert ticket.done.triggered, "EC write wedged under total blackout"
+    assert ticket.failed
+    with pytest.raises(ReproError, match="global timeout"):
+        ticket.done.value
+
+
+def test_sr_budget_exhaustion_reports_partial_bitmap(chaos_seed):
+    """A data-only permanent blackout drains the per-message retry budget;
+    the error completion carries the delivery bitmap."""
+    schedule = FaultSchedule(
+        (FaultWindow(kind="blackout", start=0.0, selector="data"),),
+        name="data-dead",
+    )
+    pair = make_sdr_pair(seed=chaos_seed, faults=schedule)
+    cfg = SrConfig(max_message_retransmits=64)
+    sender = SrSender(pair.qp_a, pair.ctrl_a, cfg)
+    receiver = SrReceiver(pair.qp_b, pair.ctrl_b, cfg)
+    size = 256 * KiB  # 32 chunks at the 8 KiB default
+    mr = pair.ctx_b.mr_reg(size)
+    receiver.post_receive(mr, size)
+    ticket = sender.write(size)
+    pair.sim.run(until=2000 * pair.channel.rtt)
+    assert ticket.done.triggered, "SR write wedged with data plane dead"
+    assert ticket.failed
+    with pytest.raises(DeliveryError) as excinfo:
+        ticket.done.value
+    err = excinfo.value
+    assert err.delivered_chunks == 0
+    assert err.total_chunks == 32
+    assert len(err.bitmap) == 4  # 32 chunks packed into 4 bytes
+    assert set(err.bitmap) == {0}

@@ -7,10 +7,12 @@ byte lands where it belongs.
 """
 
 import numpy as np
+import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.common.units import KiB
+from repro.common.units import KiB, distance_to_rtt
+from repro.faults import FaultSchedule
 from repro.reliability.ec import EcConfig, EcReceiver, EcSender
 from repro.reliability.sr import SrConfig, SrReceiver, SrSender
 
@@ -47,6 +49,46 @@ def test_sr_always_delivers(drop, jitter, duplicate, size_kib, nack, seed):
             link.forward.config, duplicate_probability=duplicate
         )
     cfg = SrConfig(nack_enabled=nack)
+    sender = SrSender(pair.qp_a, pair.ctrl_a, cfg)
+    receiver = SrReceiver(pair.qp_b, pair.ctrl_b, cfg)
+    size = size_kib * KiB
+    payload = _payload(size, seed)
+    buf = bytearray(size)
+    mr = pair.ctx_b.mr_reg(size, data=buf)
+    receiver.post_receive(mr, size)
+    ticket = sender.write(size, payload)
+    pair.sim.run(ticket.done)
+    assert not ticket.failed
+    assert bytes(buf) == payload
+
+
+@pytest.mark.chaos
+@settings(
+    max_examples=10,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    drop=st.sampled_from([0.0, 0.02]),
+    size_kib=st.integers(16, 128),
+    nack=st.booleans(),
+    seed=st.integers(0, 10_000),
+)
+def test_sr_delivers_under_random_fault_schedules(drop, size_kib, nack, seed):
+    """Fault-schedule fuzz axis: seeded random blackout/reorder windows.
+
+    :meth:`FaultSchedule.random` keeps every window short relative to the
+    horizon, so the invariant stays eventual delivery, never clean failure.
+    """
+    rtt = distance_to_rtt(100.0)  # make_sdr_pair's default link
+    schedule = FaultSchedule.random(np.random.default_rng(seed), rtt=rtt)
+    pair = make_sdr_pair(drop=drop, seed=seed, faults=schedule)
+    cfg = SrConfig(
+        nack_enabled=nack,
+        rto_backoff=True,
+        max_message_retransmits=10_000,
+    )
     sender = SrSender(pair.qp_a, pair.ctrl_a, cfg)
     receiver = SrReceiver(pair.qp_b, pair.ctrl_b, cfg)
     size = size_kib * KiB

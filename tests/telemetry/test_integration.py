@@ -60,7 +60,7 @@ class TestDemoRun:
         assert {"net", "sdr", "sr", "dpa"} <= cats
         spans = [e for e in ring.events if e.ph == "X"]
         assert spans and all(e.dur >= 0 for e in spans)
-        drops = [e for e in ring.events if e.name == "drop"]
+        drops = [e for e in ring.events if e.name == "loss_drop"]
         assert len(drops) == sr_result.telemetry.metrics.value(
             "net.dc-a<->dc-b.fwd.packets_dropped"
         )

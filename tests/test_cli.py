@@ -91,6 +91,30 @@ class TestReport:
         assert all(json.loads(line) for line in jsonl.read_text().splitlines())
 
 
+class TestChaos:
+    def test_chaos_list_schedules(self, capsys):
+        assert main(["chaos", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "blackout" in out
+        assert "chaos-mix" in out
+        assert "dpa-crash" in out
+
+    def test_chaos_run_prints_summary_and_fault_table(self, capsys):
+        assert main(
+            ["chaos", "--schedule", "blackout", "--messages", "6",
+             "--size-mib", "1", "--seed", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Chaos run" in out
+        assert "Faults (faults.*)" in out
+        assert "fault" in out
+
+    def test_chaos_unknown_schedule_clean_error(self, capsys):
+        assert main(["chaos", "--schedule", "solar-flare"]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+
+
 class TestExperiments:
     def test_experiments_subset(self, capsys):
         assert main(["experiments", "fig12"]) == 0
