@@ -7,9 +7,13 @@ Commands:
 * ``model``       -- evaluate the SR/EC completion-time models at one point.
 * ``campaign``    -- run the synthetic WAN drop-rate campaign (Figure 2).
 * ``report``      -- run one simulated WAN transfer and summarize its
-  telemetry registry per layer (optionally dumping the trace).
+  telemetry registry per layer (optionally dumping the trace), including a
+  per-message lineage section.
 * ``chaos``       -- run a named deterministic fault schedule end-to-end
-  (blackouts, reorder storms, DPA crashes, ...) and report the fallout.
+  (blackouts, reorder storms, DPA crashes, ...) and report the fallout plus
+  a per-message completion-time attribution table.
+* ``explain``     -- replay a JSONL trace into per-message timelines with
+  completion-time blame (see :mod:`repro.telemetry.lineage`).
 * ``experiments`` -- regenerate paper figures (delegates to
   :mod:`repro.experiments.__main__`).
 """
@@ -148,12 +152,26 @@ def cmd_campaign(args) -> int:
     return 0
 
 
+def _lineage_section(ring) -> str:
+    """Render the Lineage section for ``report`` / ``chaos`` output."""
+    from repro.telemetry.lineage import LineageAnalyzer
+
+    analyzer = LineageAnalyzer.from_events(ring.events)
+    parts = [analyzer.summary_table().render(), analyzer.blame_table().render()]
+    if analyzer.stragglers():
+        parts.append(analyzer.straggler_table().render())
+    return "\n\n".join(parts)
+
+
 def cmd_report(args) -> int:
-    from repro.telemetry import ChromeTraceSink, JsonlSink, Telemetry
+    from repro.telemetry import ChromeTraceSink, JsonlSink, RingBufferSink, Telemetry
     from repro.telemetry.demo import run_demo
     from repro.telemetry.report import render_report
 
-    sinks = []
+    # The lineage section always needs events; the ring is internal and
+    # bounded, so it rides along even when no trace file was requested.
+    ring = RingBufferSink(capacity=1 << 20)
+    sinks = [ring]
     chrome = jsonl = None
     if args.trace:
         chrome = ChromeTraceSink()
@@ -161,7 +179,7 @@ def cmd_report(args) -> int:
     if args.trace_jsonl:
         jsonl = JsonlSink(args.trace_jsonl)
         sinks.append(jsonl)
-    telemetry = Telemetry(trace=bool(sinks), trace_sinks=sinks)
+    telemetry = Telemetry(trace=True, trace_sinks=sinks)
     result = run_demo(
         protocol=args.protocol,
         messages=args.messages,
@@ -190,6 +208,8 @@ def cmd_report(args) -> int:
     print(summary.render())
     print()
     print(render_report(result.telemetry.metrics))
+    print()
+    print(_lineage_section(ring))
     if chrome is not None:
         chrome.write(args.trace)
         print(f"\nChrome trace written to {args.trace} ({len(chrome)} events)")
@@ -204,7 +224,7 @@ def cmd_chaos(args) -> int:
     from repro.faults import NAMED_SCHEDULES, named_schedule
     from repro.reliability.ec import EcConfig
     from repro.reliability.sr import SrConfig
-    from repro.telemetry import JsonlSink, Telemetry
+    from repro.telemetry import JsonlSink, RingBufferSink, Telemetry
     from repro.telemetry.demo import run_demo
     from repro.telemetry.report import render_report
 
@@ -214,12 +234,13 @@ def cmd_chaos(args) -> int:
         return 0
     rtt = distance_to_rtt(args.distance_km)
     schedule = named_schedule(args.schedule, rtt=rtt)
-    sinks = []
+    ring = RingBufferSink(capacity=1 << 20)
+    sinks = [ring]
     jsonl = None
     if args.trace_jsonl:
         jsonl = JsonlSink(args.trace_jsonl)
         sinks.append(jsonl)
-    telemetry = Telemetry(trace=bool(sinks), trace_sinks=sinks)
+    telemetry = Telemetry(trace=True, trace_sinks=sinks)
     # Hardened configs: adaptive RTO + backoff + bounded retry budgets so
     # every fault ends in delivery or a clean error completion, never a wedge.
     sr_config = SrConfig(
@@ -262,10 +283,38 @@ def cmd_chaos(args) -> int:
     print(summary.render())
     print()
     print(render_report(result.telemetry.metrics))
+    print()
+    print(_lineage_section(ring))
     if jsonl is not None:
         written = jsonl.events_written
         jsonl.close()
         print(f"\nJSONL trace written to {args.trace_jsonl} ({written} events)")
+    return 0
+
+
+def cmd_explain(args) -> int:
+    from repro.telemetry.lineage import LineageAnalyzer
+
+    analyzer = LineageAnalyzer.from_jsonl(args.trace)
+    if not analyzer.messages:
+        raise ConfigError(
+            f"trace {args.trace!r} contains no correlated message events "
+            f"(was it recorded with tracing enabled?)"
+        )
+    if args.msg is not None:
+        lineage = analyzer.get(args.msg)
+        if lineage is None:
+            raise ConfigError(
+                f"no message seq={args.msg} in trace {args.trace!r}; "
+                f"have {sorted(analyzer.messages)}"
+            )
+        print(lineage.timeline().render())
+        print()
+    print(analyzer.summary_table().render())
+    print()
+    print(analyzer.blame_table().render())
+    print()
+    print(analyzer.straggler_table(args.straggler_k, args.worst).render())
     return 0
 
 
@@ -354,6 +403,24 @@ def build_parser() -> argparse.ArgumentParser:
         distance_km=1000.0, bandwidth_gbps=100.0,
     )
 
+    explain = sub.add_parser(
+        "explain",
+        help="replay a JSONL trace into per-message completion-time blame",
+    )
+    explain.add_argument("trace", help="JSONL trace file (report/chaos --trace-jsonl)")
+    explain.add_argument(
+        "--msg", type=int, default=None,
+        help="also print the full event timeline of one message seq",
+    )
+    explain.add_argument(
+        "--straggler-k", type=float, default=2.0,
+        help="straggler threshold as a multiple of the p50 span",
+    )
+    explain.add_argument(
+        "--worst", type=int, default=5, help="stragglers to list"
+    )
+    explain.set_defaults(fn=cmd_explain)
+
     experiments = sub.add_parser("experiments", help="regenerate paper figures")
     experiments.add_argument("figures", nargs="*", help="e.g. fig09 fig13")
     experiments.set_defaults(fn=cmd_experiments)
@@ -366,6 +433,10 @@ def main(argv: list[str] | None = None) -> int:
     try:
         return args.fn(args)
     except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        # Unreadable/unwritable trace paths and the like.
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

@@ -132,9 +132,14 @@ class DpaWorker:
             self._m_cqes.inc()
             self._m_busy.inc(cost)
             if self._trace.enabled:
+                lineage = (
+                    {"msg": cqe.msg_seq, "pkt": cqe.pkt_idx, "chunk": cqe.chunk}
+                    if cqe.msg_seq is not None
+                    else {}
+                )
                 self._trace.complete(
                     "cqe", cat="dpa", track=self._track, start=start,
-                    qpn=cqe.qpn, closed_chunk=closed_chunk,
+                    qpn=cqe.qpn, closed_chunk=closed_chunk, **lineage,
                 )
 
 

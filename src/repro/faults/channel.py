@@ -97,6 +97,7 @@ class FaultyChannel:
         self.name = inner.name
         self._rng = rng
         self._override_p: float | None = None
+        self._current_packet: Packet | None = None
         self._downstream: Callable[[Packet], None] | None = None
 
         # Transmit-side interposition: override the loss process of the
@@ -155,10 +156,14 @@ class FaultyChannel:
             elif w.kind == "brownout":
                 p = max(p or 0.0, w.drop_probability)
         self._override_p = p
+        # Stash the in-flight packet so a loss-override drop decided inside
+        # the inner channel (``_note_fault_drop``) can carry its lineage key.
+        self._current_packet = packet
         try:
             return self.inner.transmit(packet)
         finally:
             self._override_p = None
+            self._current_packet = None
 
     @property
     def next_free(self) -> float:
@@ -170,11 +175,24 @@ class FaultyChannel:
 
     # -- fault execution -------------------------------------------------------
 
+    @staticmethod
+    def _lineage(packet: Packet | None) -> dict:
+        """Correlation-key args for fault events touching ``packet``."""
+        if packet is None or packet.msg_seq is None:
+            return {}
+        return {
+            "msg": packet.msg_seq,
+            "pkt": packet.pkt_idx,
+            "chunk": packet.chunk,
+            "attempt": packet.attempt,
+        }
+
     def _note_fault_drop(self, size_bytes: int) -> None:
         self._m_drops.inc()
         if self._trace.enabled:
             self._trace.instant(
-                "fault_drop", cat="fault", track=self._track, bytes=size_bytes
+                "fault_drop", cat="fault", track=self._track, bytes=size_bytes,
+                **self._lineage(self._current_packet),
             )
 
     def _on_deliver(self, packet: Packet) -> None:
@@ -201,6 +219,7 @@ class FaultyChannel:
                         self._trace.instant(
                             "fault_corrupt", cat="fault", track=self._track,
                             psn=packet.psn, bytes=packet.length,
+                            **self._lineage(packet),
                         )
                     return  # ICRC failure: the port discards the frame
             elif w.kind == "delay_spike":
@@ -217,7 +236,8 @@ class FaultyChannel:
             self._m_duplicated.inc()
             if self._trace.enabled:
                 self._trace.instant(
-                    "fault_dup", cat="fault", track=self._track, psn=packet.psn
+                    "fault_dup", cat="fault", track=self._track, psn=packet.psn,
+                    **self._lineage(packet),
                 )
         if extra > 0.0:
             self._m_delayed.inc()
@@ -225,6 +245,7 @@ class FaultyChannel:
                 self._trace.instant(
                     "fault_delay", cat="fault", track=self._track,
                     psn=packet.psn, extra=extra,
+                    **self._lineage(packet),
                 )
             self.sim.call_at(now + extra, lambda p=packet: self._pass(p))
         else:

@@ -96,6 +96,18 @@ class Channel:
     def serialization_time(self, size_bytes: int) -> float:
         return size_bytes / self.config.bytes_per_second
 
+    @staticmethod
+    def _lineage(packet: Packet) -> dict:
+        """Correlation-key args for trace events touching this packet."""
+        if packet.msg_seq is None:
+            return {}
+        return {
+            "msg": packet.msg_seq,
+            "pkt": packet.pkt_idx,
+            "chunk": packet.chunk,
+            "attempt": packet.attempt,
+        }
+
     def transmit(self, packet: Packet) -> float:
         """Enqueue ``packet`` for transmission; returns injection-done time.
 
@@ -121,6 +133,7 @@ class Channel:
                     self._trace.instant(
                         "tail_drop", cat="net", track=self._track,
                         psn=packet.psn, bytes=packet.length,
+                        **self._lineage(packet),
                     )
                 return now  # dropped at enqueue: no wire time consumed
 
@@ -136,6 +149,7 @@ class Channel:
                 self._trace.instant(
                     "loss_drop", cat="net", track=self._track,
                     psn=packet.psn, bytes=packet.length,
+                    **self._lineage(packet),
                 )
             return done
 
@@ -144,7 +158,15 @@ class Channel:
             self._trace.complete(
                 "tx", cat="net", track=self._track, start=start, end=done,
                 psn=packet.psn, bytes=packet.length,
+                **self._lineage(packet),
             )
+            if packet.flow_id is not None:
+                # Terminate the retransmit-trigger flow arrow at the wire.
+                self._trace.flow_finish(
+                    "retx", cat="net", track=self._track,
+                    flow_id=packet.flow_id, msg=packet.msg_seq,
+                    chunk=packet.chunk, attempt=packet.attempt,
+                )
         self.sim.call_at(done + self._flight_delay(), lambda p=packet: self._deliver(p))
         if (
             self.config.duplicate_probability > 0

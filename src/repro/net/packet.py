@@ -52,6 +52,21 @@ class Packet:
     #: 32-bit immediate data (present for *_IMM and UD_SEND opcodes).
     immediate: int | None = None
     src_qpn: int = 0
+    #: Lineage correlation key (sender-side SDR post-order sequence number).
+    #: None for packets outside the SDR data path (control datagrams, RC
+    #: baseline traffic).  See ``repro.telemetry.lineage``.
+    msg_seq: int | None = None
+    #: Packet index within the SDR message (MTU units).
+    pkt_idx: int | None = None
+    #: Chunk index within the SDR message (``pkt_idx // packets_per_chunk``).
+    chunk: int | None = None
+    #: Transmission attempt for this byte range: 0 = first transmit,
+    #: >= 1 = retransmission.
+    attempt: int = 0
+    #: Deterministic flow-event id linking a retransmit trigger (RTO fire,
+    #: NACK) to the retransmitted wire packet; set on the first packet of a
+    #: retransmitted chunk only.
+    flow_id: int | None = None
     uid: int = field(default_factory=lambda: next(_packet_ids))
 
     def __post_init__(self) -> None:

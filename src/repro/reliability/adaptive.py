@@ -188,7 +188,7 @@ class AdaptiveReceiver:
         if self._trace.enabled:
             self._trace.instant(
                 "provision_choice", cat="adaptive", track=self._track,
-                index=index, protocol=choice,
+                msg=index, index=index, protocol=choice,
                 drop_estimate=self.estimator.estimate,
             )
         backend = self.ec if choice == "ec" else self.sr

@@ -32,6 +32,7 @@ from repro.reliability.base import ControlPath, ReceiveTicket, WriteTicket
 from repro.reliability.messages import EcAck, EcNack
 from repro.sdr.handles import RecvHandle, SendHandle
 from repro.sdr.qp import SdrQp, SdrRecvWr, SdrSendWr
+from repro.telemetry.trace import flow_key
 from repro.verbs.mr import MemoryRegion
 
 
@@ -144,6 +145,8 @@ class _EcSendState:
         self.parity_hdls = parity_hdls
         self.payload = payload
         self.done = False
+        #: Fallback retransmission attempts per absolute chunk index (lineage).
+        self.fallback_attempts: dict[int, int] = {}
 
 
 class EcSender:
@@ -202,6 +205,13 @@ class EcSender:
         )
         state = _EcSendState(ticket, layout, data_hdls, parity_hdls, payload)
         self._states[ticket.seq] = state
+        if self._trace.enabled:
+            self._trace.instant(
+                "msg_post", cat="ec", track=self._track,
+                msg=ticket.seq, bytes=length, chunks=layout.nchunks,
+                data_seqs=[h.seq for h in data_hdls],
+                parity_seqs=[h.seq for h in parity_hdls],
+            )
         self.sim.process(self._inject_data(state))
         self.sim.process(self._encode_and_inject_parity(state))
         self.sim.process(self._global_timeout(state))
@@ -262,7 +272,7 @@ class EcSender:
             if self._trace.enabled:
                 self._trace.instant(
                     "global_timeout", cat="ec", track=self._track,
-                    seq=state.ticket.seq,
+                    msg=state.ticket.seq, seq=state.ticket.seq,
                 )
             if not state.ticket.done.triggered:
                 state.ticket.done.fail(
@@ -289,8 +299,8 @@ class EcSender:
             if self._trace.enabled:
                 self._trace.complete(
                     "ec_write", cat="ec", track=self._track,
-                    start=state.ticket.start_time, seq=state.ticket.seq,
-                    bytes=state.ticket.length,
+                    start=state.ticket.start_time, msg=state.ticket.seq,
+                    seq=state.ticket.seq, bytes=state.ticket.length,
                     fell_back=state.ticket.fell_back_to_sr,
                 )
         elif isinstance(msg, EcNack):
@@ -303,7 +313,8 @@ class EcSender:
             if self._trace.enabled:
                 self._trace.instant(
                     "sr_fallback", cat="ec", track=self._track,
-                    seq=msg.msg_seq, missing=len(msg.missing_chunks),
+                    msg=msg.msg_seq, seq=msg.msg_seq,
+                    missing=len(msg.missing_chunks),
                 )
             layout = state.layout
             for chunk in msg.missing_chunks:
@@ -316,7 +327,23 @@ class EcSender:
                 if state.payload is not None:
                     base = layout.sub_offset(sub) + off
                     piece = state.payload[base : base + clen]
-                self.qp.send_stream_continue(state.data_hdls[sub], off, clen, piece)
+                attempt = state.fallback_attempts.get(int(chunk), 0) + 1
+                state.fallback_attempts[int(chunk)] = attempt
+                sub_seq = state.data_hdls[sub].seq
+                if self._trace.enabled:
+                    self._trace.instant(
+                        "nack_retx", cat="ec", track=self._track,
+                        msg=sub_seq, chunk=j, attempt=attempt,
+                        parent=state.ticket.seq,
+                    )
+                    self._trace.flow_start(
+                        "retx", cat="ec", track=self._track,
+                        flow_id=flow_key(sub_seq, j, attempt),
+                        msg=sub_seq, chunk=j, attempt=attempt,
+                    )
+                self.qp.send_stream_continue(
+                    state.data_hdls[sub], off, clen, piece, attempt=attempt
+                )
                 state.ticket.retransmitted_chunks += 1
                 self._m_fallback_retransmits.inc()
 
@@ -530,7 +557,8 @@ class EcReceiver:
         if self._trace.enabled:
             self._trace.instant(
                 "ec_nack", cat="ec", track=self._track,
-                seq=seq, failed_subs=len(pending), missing=len(missing),
+                msg=seq, seq=seq, failed_subs=len(pending),
+                missing=len(missing),
             )
 
     def _decode_all(self, ticket, layout, mr, mr_offset, data_handles, parity_handles):
@@ -551,7 +579,8 @@ class EcReceiver:
             if self._trace.enabled:
                 self._trace.complete(
                     "decode", cat="ec", track=self._track,
-                    start=decode_start, sub=s, missing_chunks=missing,
+                    start=decode_start, msg=ticket.seq, sub=s,
+                    missing_chunks=missing,
                 )
             if not mr.payload_mode:
                 continue  # sized mode: timing only

@@ -72,10 +72,12 @@ class GbnSender:
         off = index * cb
         return off, min(cb, length - off)
 
-    def _send_chunk(self, hdl, index: int, length: int, payload) -> None:
+    def _send_chunk(
+        self, hdl, index: int, length: int, payload, *, attempt: int = 0
+    ) -> None:
         off, clen = self._chunk_range(index, length)
         piece = None if payload is None else payload[off : off + clen]
-        self.qp.send_stream_continue(hdl, off, clen, piece)
+        self.qp.send_stream_continue(hdl, off, clen, piece, attempt=attempt)
 
     def _pump(self, ticket: WriteTicket, hdl, length: int, payload):
         nchunks = self.qp.config.chunks_in(length)
@@ -109,11 +111,14 @@ class GbnSender:
                 if self._trace.enabled:
                     self._trace.instant(
                         "rto_rewind", cat="gbn", track=self._track,
-                        seq=seq, una=una, chunks=rewound,
+                        msg=seq, seq=seq, una=una, chunks=rewound,
+                        attempt=rounds_without_progress,
                     )
                 next_to_send = una
                 for i in range(una, min(una + self.window_chunks, nchunks)):
-                    self._send_chunk(hdl, i, length, payload)
+                    self._send_chunk(
+                        hdl, i, length, payload, attempt=rounds_without_progress
+                    )
                     next_to_send = i + 1
             else:
                 rounds_without_progress = 0

@@ -27,6 +27,7 @@ from repro.reliability.messages import Ack, SrNack
 from repro.sdr.handles import RecvHandle, SendHandle
 from repro.sdr.qp import SdrQp, SdrRecvWr, SdrSendWr
 from repro.sim.engine import Event
+from repro.telemetry.trace import flow_key
 from repro.verbs.mr import MemoryRegion
 
 
@@ -190,6 +191,11 @@ class SrSender:
         state = _SendState(ticket, hdl, nchunks)
         state._payload = payload  # type: ignore[attr-defined]
         self._states[hdl.seq] = state
+        if self._trace.enabled:
+            self._trace.instant(
+                "msg_post", cat="sr", track=self._track,
+                msg=hdl.seq, bytes=length, chunks=nchunks,
+            )
         self.sim.process(self._inject_all(state, length, payload))
         return ticket
 
@@ -200,11 +206,11 @@ class SrSender:
         off = index * cb
         return off, min(cb, length - off)
 
-    def _send_chunk(self, state: _SendState, index: int) -> None:
+    def _send_chunk(self, state: _SendState, index: int, *, attempt: int = 0) -> None:
         off, clen = self._chunk_range(index, state.ticket.length)
         payload = getattr(state, "_payload", None)
         piece = None if payload is None else payload[off : off + clen]
-        self.qp.send_stream_continue(state.hdl, off, clen, piece)
+        self.qp.send_stream_continue(state.hdl, off, clen, piece, attempt=attempt)
 
     def _inject_all(self, state: _SendState, length: int, payload):
         """Initial wire-paced injection: stamp each chunk's RTO as it leaves."""
@@ -280,12 +286,19 @@ class SrSender:
                     break
                 self._m_rto_fires.inc()
                 self._m_retransmitted.inc()
+                attempt = int(state.retransmit_count[index])
                 if self._trace.enabled:
                     self._trace.instant(
                         "rto_fire", cat="sr", track=self._track,
-                        seq=state.ticket.seq, chunk=index,
+                        msg=state.ticket.seq, seq=state.ticket.seq,
+                        chunk=index, attempt=attempt,
                     )
-                self._send_chunk(state, index)
+                    self._trace.flow_start(
+                        "retx", cat="sr", track=self._track,
+                        flow_id=flow_key(state.ticket.seq, index, attempt),
+                        msg=state.ticket.seq, chunk=index, attempt=attempt,
+                    )
+                self._send_chunk(state, index, attempt=attempt)
                 state.deadline[index] = now + self.rto
                 state.sent_at[index] = now
                 state.ticket.retransmitted_chunks += 1
@@ -310,8 +323,8 @@ class SrSender:
         if self._trace.enabled:
             self._trace.instant(
                 "write_failed", cat="sr", track=self._track,
-                seq=state.ticket.seq, delivered=int(delivered.sum()),
-                total=state.nchunks,
+                msg=state.ticket.seq, seq=state.ticket.seq,
+                delivered=int(delivered.sum()), total=state.nchunks,
             )
         if not state.ticket.done.triggered:
             state.ticket.done.fail(
@@ -368,7 +381,18 @@ class SrSender:
                     if self._budget_exhausted(state):
                         return
                     state.retransmit_count[index] += 1
-                    self._send_chunk(state, index)
+                    attempt = int(state.retransmit_count[index])
+                    if self._trace.enabled:
+                        self._trace.instant(
+                            "nack_retx", cat="sr", track=self._track,
+                            msg=state.ticket.seq, chunk=index, attempt=attempt,
+                        )
+                        self._trace.flow_start(
+                            "retx", cat="sr", track=self._track,
+                            flow_id=flow_key(state.ticket.seq, index, attempt),
+                            msg=state.ticket.seq, chunk=index, attempt=attempt,
+                        )
+                    self._send_chunk(state, index, attempt=attempt)
                     state.deadline[index] = now + self.rto
                     state.sent_at[index] = now
                     state.ticket.retransmitted_chunks += 1
@@ -385,8 +409,8 @@ class SrSender:
             if self._trace.enabled:
                 self._trace.complete(
                     "sr_write", cat="sr", track=self._track,
-                    start=state.ticket.start_time, seq=state.ticket.seq,
-                    bytes=state.ticket.length,
+                    start=state.ticket.start_time, msg=state.ticket.seq,
+                    seq=state.ticket.seq, bytes=state.ticket.length,
                     retransmits=state.ticket.retransmitted_chunks,
                 )
             self._kick_timer()

@@ -31,6 +31,7 @@ from repro.common.config import SdrConfig
 from repro.common.errors import ConfigError, ResourceError, SdrStateError
 from repro.sdr.handles import RecvHandle, SendHandle
 from repro.sdr.imm import ImmLayout
+from repro.telemetry.trace import flow_key
 from repro.verbs.cq import CompletionQueue, Cqe
 from repro.verbs.mr import IndirectMkeyTable, MemoryRegion
 from repro.verbs.qp import QpInfo, SendWr, UcQp, UdQp
@@ -270,13 +271,20 @@ class SdrQp:
         return hdl
 
     def send_stream_continue(
-        self, hdl: SendHandle, offset: int, length: int, payload: bytes | None = None
+        self,
+        hdl: SendHandle,
+        offset: int,
+        length: int,
+        payload: bytes | None = None,
+        *,
+        attempt: int = 0,
     ) -> None:
         """``send_stream_continue``: inject chunk(s) at ``offset``.
 
         ``offset`` must be MTU-aligned (chunks are multiples of the MTU);
         re-sending a previously sent range is legal and is how SR implements
-        retransmission.
+        retransmission.  ``attempt`` tags the range's packets for lineage
+        tracing (0 = first transmit, >= 1 = retransmission).
         """
         if hdl.ended:
             raise SdrStateError("stream already ended")
@@ -298,7 +306,7 @@ class SdrQp:
         hdl.bytes_posted += length
         user_imm = getattr(hdl, "_stream_user_imm", None)
         self.sim.process(
-            self._inject_range(hdl, offset, length, payload, user_imm)
+            self._inject_range(hdl, offset, length, payload, user_imm, attempt)
         )
 
     def send_stream_end(self, hdl: SendHandle) -> None:
@@ -354,12 +362,14 @@ class SdrQp:
         length: int,
         payload: bytes | None,
         user_imm: int | None,
+        attempt: int = 0,
     ):
         """Issue one WRITE_ONLY_IMM per MTU packet in the byte range."""
         if not hdl.cts_event.triggered:
             yield hdl.cts_event
         assert self._remote is not None
         mtu = self.config.mtu_bytes
+        ppc = self.config.packets_per_chunk
         base = hdl.msg_id * self.config.max_message_bytes
         qps = self.data_qps[hdl.generation]
         nch = len(qps)
@@ -368,6 +378,7 @@ class SdrQp:
             byte_off = offset + sent
             flen = min(mtu, length - sent)
             pkt_idx = byte_off // mtu
+            chunk = pkt_idx // ppc
             frag = (
                 self.layout.user_fragment_of(user_imm, pkt_idx)
                 if user_imm is not None
@@ -375,6 +386,9 @@ class SdrQp:
             )
             imm = self.layout.encode(hdl.msg_id, pkt_idx, frag)
             frag_payload = None if payload is None else payload[sent : sent + flen]
+            flow = None
+            if attempt > 0 and (sent == 0 or pkt_idx % ppc == 0):
+                flow = flow_key(hdl.seq, chunk, attempt)
             qps[pkt_idx % nch].post_send(
                 SendWr(
                     length=flen,
@@ -383,6 +397,11 @@ class SdrQp:
                     payload=frag_payload,
                     immediate=imm,
                     wr_id=hdl.seq,
+                    msg_seq=hdl.seq,
+                    pkt_idx=pkt_idx,
+                    chunk=chunk,
+                    attempt=attempt,
+                    flow_id=flow,
                 )
             )
             sent += flen
@@ -496,6 +515,11 @@ class SdrQp:
             self._cts_waiters = [h for h in self._cts_waiters if h.seq > high]
             for hdl in ready:
                 if not hdl.cts_event.triggered:
+                    if self._trace.enabled:
+                        self._trace.instant(
+                            "cts_grant", cat="sdr", track=self._track,
+                            msg=hdl.seq,
+                        )
                     hdl.cts_event.succeed(None)
 
     def _validate_data_cqe(self, cqe: Cqe) -> tuple[RecvHandle, int, int] | None:
@@ -525,7 +549,7 @@ class SdrQp:
             if self._trace.enabled:
                 self._trace.instant(
                     "chunk_close", cat="sdr", track=self._track,
-                    msg_id=hdl.msg_id, chunk=chunk,
+                    msg=hdl.seq, msg_id=hdl.msg_id, chunk=chunk,
                 )
             delay = self.ctx.dpa_config.pcie_update_seconds
             if delay > 0:

@@ -25,6 +25,7 @@ prefix                 producer
 ``sr|ec|gbn.<dev>``    reliability senders/receivers
 ``adaptive.<dev>``     adaptive provisioning
 ``dpa.<worker>``       :class:`repro.dpa.worker.DpaWorker`
+``lineage``            :class:`repro.telemetry.lineage.LineageAnalyzer`
 =====================  ==========================================
 """
 
@@ -32,6 +33,11 @@ from __future__ import annotations
 
 from collections.abc import Iterable
 
+from repro.telemetry.lineage import (
+    ATTRIBUTION_CATEGORIES,
+    LineageAnalyzer,
+    MessageLineage,
+)
 from repro.telemetry.metrics import (
     Counter,
     Gauge,
@@ -46,12 +52,16 @@ from repro.telemetry.trace import (
     TraceEvent,
     TraceSink,
     Tracer,
+    flow_key,
 )
 
 __all__ = [
+    "ATTRIBUTION_CATEGORIES",
     "Counter",
     "Gauge",
     "Histogram",
+    "LineageAnalyzer",
+    "MessageLineage",
     "MetricsRegistry",
     "MetricsScope",
     "Telemetry",
@@ -61,6 +71,7 @@ __all__ = [
     "RingBufferSink",
     "JsonlSink",
     "ChromeTraceSink",
+    "flow_key",
 ]
 
 

@@ -37,6 +37,17 @@ from repro.common.errors import ConfigError
 _US = 1e6
 
 
+def flow_key(msg: int, chunk: int, attempt: int) -> int:
+    """Deterministic Perfetto flow-event id for one retransmitted chunk.
+
+    Packs ``(msg, chunk, attempt)`` into a single integer so the ``ph: "s"``
+    record at the retransmit trigger (RTO fire, NACK, EC fallback) and the
+    ``ph: "f"`` record at the wire transmission share an ``id`` without any
+    shared mutable counter -- same-seed runs produce identical ids.
+    """
+    return ((msg & 0xFFFFFF) << 24) | ((chunk & 0xFFFF) << 8) | (attempt & 0xFF)
+
+
 @dataclass(frozen=True)
 class TraceEvent:
     """One structured trace record.
@@ -48,7 +59,7 @@ class TraceEvent:
 
     name: str
     cat: str
-    ph: str  # "X" complete, "i" instant, "C" counter
+    ph: str  # "X" complete, "i" instant, "C" counter, "s"/"f" flow start/finish
     ts: float
     track: str
     dur: float | None = None
@@ -193,6 +204,12 @@ class ChromeTraceSink(TraceSink):
             rec["dur"] = (event.dur or 0.0) * _US
         if event.ph == "i":
             rec["s"] = "t"  # thread-scoped instant
+        if event.ph in ("s", "f"):
+            # Flow events need a shared id; bind the finish to the enclosing
+            # slice rather than the next one ("bp": "e").
+            rec["id"] = int(event.args.get("flow_id", 0))
+            if event.ph == "f":
+                rec["bp"] = "e"
         if event.args:
             rec["args"] = dict(event.args)
         self._events.append(rec)
@@ -203,6 +220,7 @@ class ChromeTraceSink(TraceSink):
             {
                 "name": "process_name",
                 "ph": "M",
+                "ts": 0,
                 "pid": self.PID,
                 "tid": 0,
                 "args": {"name": "sdr-rdma simulation"},
@@ -213,6 +231,7 @@ class ChromeTraceSink(TraceSink):
                 {
                     "name": "thread_name",
                     "ph": "M",
+                    "ts": 0,
                     "pid": self.PID,
                     "tid": tid,
                     "args": {"name": track},
@@ -317,6 +336,32 @@ class Tracer:
             TraceEvent(
                 name=name, cat=cat, ph="C", ts=self._clock(), track=track,
                 args=series,
+            )
+        )
+
+    def flow_start(
+        self, name: str, *, cat: str, track: str, flow_id: int, **args: Any
+    ) -> None:
+        """Open a Perfetto flow arrow (``ph: "s"``), e.g. a retransmit trigger."""
+        if not self.enabled:
+            return
+        self._emit(
+            TraceEvent(
+                name=name, cat=cat, ph="s", ts=self._clock(), track=track,
+                args={"flow_id": flow_id, **args},
+            )
+        )
+
+    def flow_finish(
+        self, name: str, *, cat: str, track: str, flow_id: int, **args: Any
+    ) -> None:
+        """Close a flow arrow (``ph: "f"``) at the effect site."""
+        if not self.enabled:
+            return
+        self._emit(
+            TraceEvent(
+                name=name, cat=cat, ph="f", ts=self._clock(), track=track,
+                args={"flow_id": flow_id, **args},
             )
         )
 

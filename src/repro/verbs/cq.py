@@ -38,6 +38,11 @@ class Cqe:
     #: Which internal QP generation delivered the entry (SDR backend tag;
     #: plain Verbs consumers ignore it).
     generation: int = field(default=0, compare=False)
+    #: Lineage correlation key copied from the triggering packet/WR (see
+    #: ``repro.telemetry.lineage``); None outside the SDR data path.
+    msg_seq: int | None = field(default=None, compare=False)
+    pkt_idx: int | None = field(default=None, compare=False)
+    chunk: int | None = field(default=None, compare=False)
 
 
 class CompletionQueue:

@@ -45,6 +45,15 @@ class SendWr:
     immediate: int | None = None
     wr_id: int | None = None
     signaled: bool = True
+    #: Lineage correlation key (see ``repro.telemetry.lineage``): the SDR
+    #: post-order message sequence, packet/chunk indices within that message
+    #: and the transmission attempt.  Stamped onto every wire packet and
+    #: copied into the resulting CQEs; None outside the SDR data path.
+    msg_seq: int | None = None
+    pkt_idx: int | None = None
+    chunk: int | None = None
+    attempt: int = 0
+    flow_id: int | None = None
 
     def __post_init__(self) -> None:
         if self.length <= 0:
@@ -175,6 +184,9 @@ class UcQp(BaseQp):
                         timestamp=self.sim.now,
                         wr_id=wr.wr_id,
                         generation=self.generation,
+                        msg_seq=wr.msg_seq,
+                        pkt_idx=wr.pkt_idx,
+                        chunk=wr.chunk,
                     )
                 )
 
@@ -211,6 +223,11 @@ class UcQp(BaseQp):
                 length=flen,
                 payload=payload,
                 immediate=wr.immediate if op.name.endswith("IMM") else None,
+                msg_seq=wr.msg_seq,
+                pkt_idx=wr.pkt_idx,
+                chunk=wr.chunk,
+                attempt=wr.attempt,
+                flow_id=wr.flow_id if i == 0 else None,
             )
             self._sq_psn = (self._sq_psn + 1) % (1 << 24)
             done = self.channel.transmit(pkt)
@@ -275,6 +292,9 @@ class UcQp(BaseQp):
                 timestamp=self.sim.now,
                 immediate=packet.immediate,
                 generation=self.generation,
+                msg_seq=packet.msg_seq,
+                pkt_idx=packet.pkt_idx,
+                chunk=packet.chunk,
             )
         )
 

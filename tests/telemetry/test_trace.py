@@ -14,6 +14,7 @@ from repro.telemetry import (
     Telemetry,
     TraceEvent,
     Tracer,
+    flow_key,
 )
 
 
@@ -169,6 +170,76 @@ class TestChromeTraceSink:
         doc = json.loads(path.read_text())
         assert any(e["name"] == "x" for e in doc["traceEvents"])
         assert len(sink) == 1
+
+
+class TestJsonlByteIdentity:
+    def test_jsonl_from_dict_jsonl_is_byte_identical(self):
+        """JSONL -> from_dict -> JSONL must reproduce the exact bytes."""
+        buf = io.StringIO()
+        sink = JsonlSink(buf)
+        tracer = make_tracer(sink)
+        tracer.bind_clock(lambda: 1.25)
+        tracer.instant("drop", cat="net", track="net.fwd", psn=3, bytes=4096)
+        tracer.complete("tx", cat="net", track="net.fwd", start=1.0, msg=7)
+        tracer.counter("rate", cat="net", track="net.fwd", pkts=5)
+        tracer.flow_start("retx", cat="sr", track="sr.a", flow_id=42, chunk=1)
+        tracer.flow_finish("retx", cat="net", track="net.fwd", flow_id=42)
+        sink.close()
+        original = buf.getvalue()
+        assert original
+
+        buf.seek(0)
+        events = JsonlSink.read(buf)
+        rewrite_buf = io.StringIO()
+        rewrite = JsonlSink(rewrite_buf)
+        for ev in events:
+            rewrite.emit(ev)
+        rewrite.close()
+        assert rewrite_buf.getvalue() == original
+
+
+class TestChromeValidity:
+    def test_every_record_has_required_trace_event_fields(self):
+        """Chrome output loads as JSON; every record carries ph/ts/pid/tid."""
+        sink = ChromeTraceSink()
+        tracer = make_tracer(sink)
+        tracer.bind_clock(lambda: 0.5)
+        tracer.complete("tx", cat="net", track="net.fwd", start=0.25)
+        tracer.instant("drop", cat="net", track="net.fwd")
+        tracer.counter("rate", cat="net", track="net.fwd", pkts=1)
+        tracer.flow_start("retx", cat="sr", track="sr.a", flow_id=9)
+        tracer.flow_finish("retx", cat="net", track="net.fwd", flow_id=9)
+        doc = json.loads(sink.to_json())
+        assert doc["traceEvents"]
+        for rec in doc["traceEvents"]:
+            for field in ("ph", "ts", "pid", "tid"):
+                assert field in rec, f"{rec['name']} missing {field!r}"
+
+    def test_flow_records_carry_id_and_binding_point(self):
+        sink = ChromeTraceSink()
+        tracer = make_tracer(sink)
+        tracer.flow_start("retx", cat="sr", track="sr.a", flow_id=77)
+        tracer.flow_finish("retx", cat="net", track="net.b", flow_id=77)
+        start, finish = (e for e in sink.trace_events() if e["ph"] in "sf")
+        assert start["ph"] == "s" and start["id"] == 77
+        assert finish["ph"] == "f" and finish["id"] == 77
+        assert finish["bp"] == "e"
+        assert "bp" not in start
+
+
+class TestFlowKey:
+    def test_deterministic_and_distinct(self):
+        assert flow_key(1, 2, 3) == flow_key(1, 2, 3)
+        keys = {
+            flow_key(m, c, a)
+            for m in range(4) for c in range(4) for a in range(1, 4)
+        }
+        assert len(keys) == 4 * 4 * 3
+
+    def test_packing_layout(self):
+        assert flow_key(0, 0, 1) == 1
+        assert flow_key(0, 1, 0) == 1 << 8
+        assert flow_key(1, 0, 0) == 1 << 24
 
 
 class TestTraceEvent:

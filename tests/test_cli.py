@@ -115,6 +115,63 @@ class TestChaos:
         assert "error:" in err
 
 
+class TestExplain:
+    @pytest.fixture()
+    def trace_path(self, tmp_path, capsys):
+        path = tmp_path / "trace.jsonl"
+        assert main(
+            ["report", "--messages", "2", "--size-mib", "1", "--seed", "1",
+             "--drop", "0.02", "--trace-jsonl", str(path)]
+        ) == 0
+        capsys.readouterr()  # discard report output
+        return path
+
+    def test_explain_prints_attribution(self, capsys, trace_path):
+        assert main(["explain", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Per-message attribution" in out
+        assert "Lineage blame" in out
+
+    def test_explain_single_message_timeline(self, capsys, trace_path):
+        assert main(["explain", str(trace_path), "--msg", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "msg=0" in out
+
+    def test_explain_unknown_message(self, capsys, trace_path):
+        assert main(["explain", str(trace_path), "--msg", "999"]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "999" in err
+
+    def test_explain_missing_trace_exits_nonzero(self, capsys, tmp_path):
+        assert main(["explain", str(tmp_path / "missing.jsonl")]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "cannot read" in err
+
+    def test_explain_corrupt_trace_exits_nonzero(self, capsys, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("{not json}\n")
+        assert main(["explain", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "not a valid" in err
+
+    def test_report_unwritable_trace_path_exits_nonzero(self, capsys, tmp_path):
+        target = tmp_path / "no" / "such" / "dir" / "t.jsonl"
+        assert main(
+            ["report", "--messages", "1", "--size-mib", "1",
+             "--trace-jsonl", str(target)]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+
+    def test_report_includes_lineage_section(self, capsys):
+        assert main(
+            ["report", "--messages", "2", "--size-mib", "1", "--seed", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Per-message attribution" in out
+        assert "Lineage blame" in out
+
+
 class TestExperiments:
     def test_experiments_subset(self, capsys):
         assert main(["experiments", "fig12"]) == 0
