@@ -265,6 +265,9 @@ def cmd_chaos(args) -> int:
         faults=schedule,
         sr_config=sr_config,
         ec_config=ec_config,
+        planes=args.planes,
+        spread=args.spread,
+        recover=args.recover,
     )
     delivered = result.messages - result.failed_writes
     summary = Table(
@@ -283,12 +286,65 @@ def cmd_chaos(args) -> int:
     print(summary.render())
     print()
     print(render_report(result.telemetry.metrics))
+    if args.recover:
+        metrics = result.telemetry.metrics
+        recovery = Table(
+            title="Recovery: resumed vs retransmitted chunks",
+            columns=["resumes_started", "resumes_completed", "resume_failures",
+                     "chunks_skipped", "chunks_retransmitted",
+                     "breaker_opens", "breaker_closes"],
+            notes="chunks_skipped = already delivered before the resume, "
+                  "never re-sent",
+        )
+
+        def _total(metric: str) -> int:
+            return sum(
+                metrics.value(name)
+                for name in metrics.names("recovery")
+                if name.endswith(f".{metric}")
+            )
+
+        recovery.add_row(
+            _total("resumes_started"), _total("resumes_completed"),
+            _total("resume_failures"), _total("resumed_chunks_skipped"),
+            _total("resumed_chunks_retransmitted"), _total("breaker_opens"),
+            _total("breaker_closes"),
+        )
+        print()
+        print(recovery.render())
     print()
     print(_lineage_section(ring))
     if jsonl is not None:
         written = jsonl.events_written
         jsonl.close()
         print(f"\nJSONL trace written to {args.trace_jsonl} ({written} events)")
+    if args.metrics_json:
+        import json
+        import os
+
+        parent = os.path.dirname(args.metrics_json)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        with open(args.metrics_json, "w", encoding="utf-8") as fh:
+            json.dump(
+                {
+                    "schedule": schedule.name,
+                    "protocol": result.protocol,
+                    "seed": args.seed,
+                    "messages": result.messages,
+                    "failed_writes": result.failed_writes,
+                    "recovery": result.telemetry.metrics.snapshot("recovery"),
+                },
+                fh, indent=2, sort_keys=True,
+            )
+            fh.write("\n")
+        print(f"Metrics JSON written to {args.metrics_json}")
+    if args.recover and result.failed_writes:
+        print(
+            f"error: {result.failed_writes} write(s) still failed "
+            f"with recovery armed"
+        )
+        return 1
     return 0
 
 
@@ -397,6 +453,25 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument(
         "--trace-jsonl", metavar="PATH",
         help="write the raw trace-event stream as JSON Lines",
+    )
+    chaos.add_argument(
+        "--planes", type=int, default=None, metavar="N",
+        help="bond the WAN link into N planes (required for plane-scoped "
+             "schedules such as plane-blackout)",
+    )
+    chaos.add_argument(
+        "--spread", choices=("flow", "packet"), default="packet",
+        help="plane spraying policy for a bonded link",
+    )
+    chaos.add_argument(
+        "--recover", action="store_true",
+        help="arm the recovery plane: circuit-breaker failover (bonded "
+             "links) + bitmap-driven resumption; exits non-zero if any "
+             "write still fails",
+    )
+    chaos.add_argument(
+        "--metrics-json", metavar="PATH",
+        help="dump the run's recovery.* metrics snapshot as JSON",
     )
     chaos.set_defaults(
         fn=cmd_chaos, size_mib=1.0, drop=0.0,

@@ -8,7 +8,12 @@ byte-identical.  See ``docs/robustness.md``.
 """
 
 from repro.faults.channel import FaultyChannel, packet_class
-from repro.faults.inject import install_dpa_faults, install_link_faults
+from repro.faults.inject import (
+    install_dpa_faults,
+    install_link_faults,
+    link_faults,
+    uninstall_link_faults,
+)
 from repro.faults.schedule import (
     CHANNEL_KINDS,
     DPA_KINDS,
@@ -27,6 +32,8 @@ __all__ = [
     "FaultyChannel",
     "install_dpa_faults",
     "install_link_faults",
+    "link_faults",
     "named_schedule",
     "packet_class",
+    "uninstall_link_faults",
 ]

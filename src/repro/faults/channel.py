@@ -39,6 +39,7 @@ from collections.abc import Callable
 
 import numpy as np
 
+from repro.common.errors import ConfigError
 from repro.net.loss import LossModel
 from repro.net.packet import Opcode, Packet
 from repro.faults.schedule import FaultSchedule
@@ -57,22 +58,26 @@ class _OverrideLoss(LossModel):
     """Wraps a channel's loss model; a FaultyChannel can override it.
 
     While ``owner`` has an active blackout/brownout window for the packet
-    being transmitted, the window's drop probability *replaces* the base
-    loss process (the base model's state does not advance), which is what
-    "loss override" means: the fault is the channel during the window.
+    being transmitted (and matching this wrapper's plane, for bonded
+    links), the window's drop probability *replaces* the base loss process
+    (the base model's state does not advance), which is what "loss
+    override" means: the fault is the channel during the window.
     """
 
-    def __init__(self, base: LossModel, owner: "FaultyChannel"):
+    def __init__(
+        self, base: LossModel, owner: "FaultyChannel", plane: int | None = None
+    ):
         self.base = base
         self.owner = owner
+        self.plane = plane
 
     def drops(self, rng: np.random.Generator, size_bytes: int) -> bool:
-        p = self.owner._override_p
+        p = self.owner._override_for(self.plane)
         if p is None:
             return self.base.drops(rng, size_bytes)
         dropped = p >= 1.0 or self.owner._rng.random() < p
         if dropped:
-            self.owner._note_fault_drop(size_bytes)
+            self.owner._note_fault_drop(size_bytes, plane=self.plane)
         return dropped
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
@@ -96,22 +101,49 @@ class FaultyChannel:
         self.config = inner.config
         self.name = inner.name
         self._rng = rng
-        self._override_p: float | None = None
+        self._tx_windows: tuple = ()
         self._current_packet: Packet | None = None
         self._downstream: Callable[[Packet], None] | None = None
+        self._armed = True
+
+        planes = getattr(inner, "planes", None)
+        nplanes = len(planes) if planes else 0
+        for w in schedule.channel_windows:
+            if w.plane is None:
+                continue
+            if nplanes == 0:
+                raise ConfigError(
+                    f"window {w.kind!r} targets plane {w.plane} but link "
+                    f"{self.name!r} is not bonded"
+                )
+            if w.plane >= nplanes:
+                raise ConfigError(
+                    f"window {w.kind!r} targets plane {w.plane} but link "
+                    f"{self.name!r} has {nplanes} planes"
+                )
 
         # Transmit-side interposition: override the loss process of the
-        # inner channel (every plane of a bonded channel shares the owner).
-        for ch in getattr(inner, "planes", None) or [inner]:
-            ch.loss = _OverrideLoss(ch.loss, self)
+        # inner channel (every plane of a bonded channel shares the owner,
+        # each wrapper remembering its plane index for plane-scoped
+        # windows).
+        if planes:
+            for i, ch in enumerate(planes):
+                ch.loss = _OverrideLoss(ch.loss, self, plane=i)
+        else:
+            inner.loss = _OverrideLoss(inner.loss, self)
 
         # Delivery-side interposition: steal whatever sink the inner
         # channel already delivers to and slot ourselves in front of it.
-        planes = getattr(inner, "planes", None)
+        # Bonded planes get per-plane closures so plane-scoped delivery
+        # faults know which plane carried the packet.
         current = (planes[0] if planes else inner)._sink
         if current is not None:
             self._downstream = current
-        inner.attach_sink(self._on_deliver)
+        if planes:
+            for i, ch in enumerate(planes):
+                ch.attach_sink(self._plane_deliver(i))
+        else:
+            inner.attach_sink(self._on_deliver)
 
         scope = self.sim.telemetry.metrics.scope(f"faults.{self.name}")
         self._m_drops = scope.counter("fault_drops")
@@ -137,9 +169,10 @@ class FaultyChannel:
 
     def _mark(self, name: str, w) -> None:
         if self._trace.enabled:
+            extra = {} if w.plane is None else {"plane": w.plane}
             self._trace.instant(
                 name, cat="fault", track=self._track,
-                kind=w.kind, selector=w.selector,
+                kind=w.kind, selector=w.selector, **extra,
             )
 
     # -- Channel interface -----------------------------------------------------
@@ -148,22 +181,34 @@ class FaultyChannel:
         self._downstream = sink
 
     def transmit(self, packet: Packet) -> float:
+        if not self._armed:
+            return self.inner.transmit(packet)
         cls = packet_class(packet)
-        p = None
-        for w in self.schedule.active_channel(self.sim.now, cls):
-            if w.kind == "blackout":
-                p = 1.0
-            elif w.kind == "brownout":
-                p = max(p or 0.0, w.drop_probability)
-        self._override_p = p
+        self._tx_windows = tuple(
+            w
+            for w in self.schedule.active_channel(self.sim.now, cls)
+            if w.kind in ("blackout", "brownout")
+        )
         # Stash the in-flight packet so a loss-override drop decided inside
         # the inner channel (``_note_fault_drop``) can carry its lineage key.
         self._current_packet = packet
         try:
             return self.inner.transmit(packet)
         finally:
-            self._override_p = None
+            self._tx_windows = ()
             self._current_packet = None
+
+    def _override_for(self, plane: int | None) -> float | None:
+        """Loss-override probability for the packet in flight on ``plane``."""
+        p = None
+        for w in self._tx_windows:
+            if not w.matches_plane(plane):
+                continue
+            if w.kind == "blackout":
+                p = 1.0
+            else:
+                p = max(p or 0.0, w.drop_probability)
+        return p
 
     @property
     def next_free(self) -> float:
@@ -172,6 +217,23 @@ class FaultyChannel:
     @property
     def stats(self):
         return self.inner.stats
+
+    @property
+    def planes(self):
+        """The inner bonded channel's planes (None for a plain link)."""
+        return getattr(self.inner, "planes", None)
+
+    def disarm(self) -> None:
+        """Stop executing the schedule: the wrapper becomes transparent.
+
+        Used by ``uninstall_link_faults`` -- QPs that connected while the
+        fault plane was installed cached this wrapper, so it must turn
+        into a passthrough rather than simply being unlinked.
+        """
+        self._armed = False
+        for ch in self.planes or [self.inner]:
+            if isinstance(ch.loss, _OverrideLoss):
+                ch.loss = ch.loss.base
 
     # -- fault execution -------------------------------------------------------
 
@@ -187,22 +249,38 @@ class FaultyChannel:
             "attempt": packet.attempt,
         }
 
-    def _note_fault_drop(self, size_bytes: int) -> None:
+    def _note_fault_drop(self, size_bytes: int, plane: int | None = None) -> None:
         self._m_drops.inc()
         if self._trace.enabled:
+            extra = {} if plane is None else {"plane": plane}
             self._trace.instant(
                 "fault_drop", cat="fault", track=self._track, bytes=size_bytes,
-                **self._lineage(self._current_packet),
+                **extra, **self._lineage(self._current_packet),
             )
 
-    def _on_deliver(self, packet: Packet) -> None:
+    def _plane_deliver(self, plane: int) -> Callable[[Packet], None]:
+        """Delivery-side sink closure remembering the carrying plane."""
+
+        def sink(packet: Packet) -> None:
+            self._on_deliver(packet, plane=plane)
+
+        return sink
+
+    def _on_deliver(self, packet: Packet, plane: int | None = None) -> None:
         """Inner channel delivered ``packet``; apply delivery-side faults.
 
         RNG draw order is fixed (corrupt, then delay, then duplicate) so
         same-seed runs replay identically.
         """
+        if not self._armed:
+            self._pass(packet)
+            return
         now = self.sim.now
-        active = self.schedule.active_channel(now, packet_class(packet))
+        active = [
+            w
+            for w in self.schedule.active_channel(now, packet_class(packet))
+            if w.matches_plane(plane)
+        ]
         if not active:
             self._pass(packet)
             return

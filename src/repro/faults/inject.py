@@ -13,10 +13,30 @@ the same :class:`~repro.faults.FaultSchedule`.
 
 from __future__ import annotations
 
+import contextlib
+
 from repro.common.errors import ConfigError
 from repro.faults.channel import FaultyChannel
 from repro.faults.schedule import FaultSchedule
 from repro.net.channel import DuplexLink
+
+
+def _link_lookup(fabric, a, b):
+    """Resolve the (possibly flipped) fabric link between ``a`` and ``b``.
+
+    Returns ``(key, link, flipped)`` where ``flipped`` means the registry
+    stores the ``b`` -> ``a`` orientation.
+    """
+    key = (a.name, b.name)
+    link = fabric.links.get(key)
+    flipped = False
+    if link is None:
+        key = (b.name, a.name)
+        link = fabric.links.get(key)
+        if link is None:
+            raise ConfigError(f"{a.name} and {b.name} are not connected")
+        flipped = True
+    return key, link, flipped
 
 
 def install_link_faults(
@@ -34,15 +54,7 @@ def install_link_faults(
     blackout severs both directions like a real fiber cut).  Returns the
     (forward, reverse) wrappers.
     """
-    key = (a.name, b.name)
-    link = fabric.links.get(key)
-    flipped = False
-    if link is None:
-        key = (b.name, a.name)
-        link = fabric.links.get(key)
-        if link is None:
-            raise ConfigError(f"{a.name} and {b.name} are not connected")
-        flipped = True
+    key, link, flipped = _link_lookup(fabric, a, b)
     if isinstance(link, DuplexLink):
         inner_fwd, inner_rev = link.forward, link.reverse
     else:  # connect_bonded stores a (fwd, rev) tuple of BondedChannels
@@ -71,6 +83,60 @@ def install_link_faults(
     else:
         fabric.links[key] = stored
     return fwd, rev
+
+
+def uninstall_link_faults(fabric, a, b) -> None:
+    """Undo :func:`install_link_faults` on the ``a`` <-> ``b`` link.
+
+    The original channels go back into the device link tables (so future
+    connections bypass the fault plane entirely), the wrapped loss models
+    are unwrapped, and the wrappers themselves are disarmed -- QPs that
+    connected while faults were installed cached the wrapper object, and
+    a disarmed wrapper is a pure passthrough.  Subsequent traffic is
+    fault-free either way.
+    """
+    key, link, flipped = _link_lookup(fabric, a, b)
+    if isinstance(link, DuplexLink):
+        fwd, rev = link.forward, link.reverse
+    else:
+        fwd, rev = link
+    if flipped:
+        fwd, rev = rev, fwd
+    if not (isinstance(fwd, FaultyChannel) and isinstance(rev, FaultyChannel)):
+        raise ConfigError(
+            f"link {a.name}<->{b.name} has no fault injection installed"
+        )
+    fwd.disarm()
+    rev.disarm()
+    inner_fwd, inner_rev = fwd.inner, rev.inner
+    a.replace_link(b.name, outgoing=inner_fwd, incoming=inner_rev)
+    b.replace_link(a.name, outgoing=inner_rev, incoming=inner_fwd)
+    stored = (inner_rev, inner_fwd) if flipped else (inner_fwd, inner_rev)
+    if isinstance(link, DuplexLink):
+        link.forward, link.reverse = stored
+    else:
+        fabric.links[key] = stored
+
+
+@contextlib.contextmanager
+def link_faults(
+    fabric,
+    a,
+    b,
+    schedule: FaultSchedule,
+    *,
+    schedule_rev: FaultSchedule | None = None,
+):
+    """Context-manager form of :func:`install_link_faults`.
+
+    Yields the ``(forward, reverse)`` wrappers and uninstalls the fault
+    plane on exit, restoring the original links.
+    """
+    wrappers = install_link_faults(fabric, a, b, schedule, schedule_rev=schedule_rev)
+    try:
+        yield wrappers
+    finally:
+        uninstall_link_faults(fabric, a, b)
 
 
 def install_dpa_faults(sim, engine, schedule: FaultSchedule) -> int:

@@ -75,6 +75,11 @@ class FaultWindow:
     corrupt_probability: float = 1.0
     #: Target worker index for ``dpa_stall`` / ``dpa_crash``.
     worker: int = 0
+    #: Optional plane index: restrict a channel fault to one plane of a
+    #: :class:`repro.net.multipath.BondedChannel`.  ``None`` hits every
+    #: plane; installing a plane-scoped window on a non-bonded link is a
+    #: :class:`ConfigError`.
+    plane: int | None = None
 
     def __post_init__(self) -> None:
         if self.kind not in KINDS:
@@ -104,12 +109,24 @@ class FaultWindow:
             raise ConfigError(f"worker index must be >= 0, got {self.worker}")
         if self.kind == "dpa_stall" and not math.isfinite(self.end):
             raise ConfigError("dpa_stall windows need a finite end")
+        if self.plane is not None:
+            if self.kind not in CHANNEL_KINDS:
+                raise ConfigError(
+                    f"plane selector only applies to channel faults, "
+                    f"not {self.kind!r}"
+                )
+            if self.plane < 0:
+                raise ConfigError(f"plane index must be >= 0, got {self.plane}")
 
     def active(self, now: float) -> bool:
         return self.start <= now < self.end
 
     def matches(self, packet_class: str) -> bool:
         return self.selector == "all" or self.selector == packet_class
+
+    def matches_plane(self, plane: int | None) -> bool:
+        """Does this window hit a packet riding ``plane`` (None = unknown)?"""
+        return self.plane is None or self.plane == plane
 
     @property
     def duration(self) -> float:
@@ -310,6 +327,20 @@ def _dpa_crash(rtt: float) -> FaultSchedule:
     )
 
 
+def _plane_blackout(rtt: float) -> FaultSchedule:
+    """Plane 0 of a bonded link goes totally dark for 30 RTTs.
+
+    Only meaningful on a bonded (multi-plane) link; installing it on a
+    plain link raises ``ConfigError``.  With the recovery plane enabled
+    the breaker opens plane 0, traffic fails over to the survivors, and
+    the plane is re-admitted by probes after the window ends.
+    """
+    return FaultSchedule(
+        (FaultWindow(kind="blackout", start=5 * rtt, end=35 * rtt, plane=0),),
+        name="plane-blackout",
+    )
+
+
 def _chaos_mix(rtt: float) -> FaultSchedule:
     """Several overlapping pathologies: the kitchen-sink liveness check."""
     return FaultSchedule(
@@ -344,6 +375,7 @@ NAMED_SCHEDULES: dict[str, object] = {
     "corrupt": _corrupt,
     "dpa-stall": _dpa_stall,
     "dpa-crash": _dpa_crash,
+    "plane-blackout": _plane_blackout,
     "chaos-mix": _chaos_mix,
 }
 

@@ -212,6 +212,16 @@ class Channel:
         """Earliest time a new packet could start serializing."""
         return max(self.sim.now, self._busy_until)
 
+    @property
+    def queue_delay(self) -> float:
+        """Seconds a packet enqueued now would wait before serializing.
+
+        The serialization backlog is the latency signal a plane-health
+        monitor can observe without waiting a flight time (see
+        ``repro.recovery``).
+        """
+        return max(0.0, self._busy_until - self.sim.now)
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Channel({self.name}, {self.config.bandwidth_bps / 1e9:g} Gbit/s)"
 

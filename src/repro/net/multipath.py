@@ -78,6 +78,7 @@ class BondedChannel:
             for i in range(planes)
         ]
         self._rr = 0
+        self._recovery = None
 
     # -- Channel interface ---------------------------------------------------------
 
@@ -88,7 +89,21 @@ class BondedChannel:
     def transmit(self, packet: Packet) -> float:
         return self.planes[self._pick(packet)].transmit(packet)
 
+    def set_recovery(self, recovery) -> None:
+        """Attach a :class:`repro.recovery.PlaneRecovery` to this channel.
+
+        Once attached, the recovery plane's circuit breakers steer
+        ``_pick``: flow-hash and packet-spray policies exclude open planes
+        and re-admit half-open planes via probe packets.  Pass ``None``
+        to detach.
+        """
+        self._recovery = recovery
+
     def _pick(self, packet: Packet) -> int:
+        if self._recovery is not None:
+            index = self._recovery.pick(self, packet)
+            if index is not None:
+                return index
         if self.spread == "flow":
             return packet.src_qpn % self.planes_count
         index = self._rr

@@ -1,0 +1,35 @@
+"""``repro.recovery``: plane health, circuit-breaker failover, resumption.
+
+The recovery plane has two halves (see ``docs/robustness.md``):
+
+* :class:`PlaneRecovery` -- per-plane health monitoring over a
+  :class:`~repro.net.multipath.BondedChannel` driving one
+  :class:`CircuitBreaker` per plane, so the spraying policies exclude
+  failed planes and re-admit them via probe packets; and
+* :class:`ResumeToken` -- bitmap-driven transfer resumption: a failed
+  write re-posts under a fresh ``(msg_id, generation)`` slot and
+  retransmits only the missing chunks (``SrSender.resume`` /
+  ``EcSender.resume`` / ``AdaptiveSender.resume``).
+"""
+
+from repro.recovery.health import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    BreakerConfig,
+    CircuitBreaker,
+    PlaneHealth,
+    PlaneRecovery,
+)
+from repro.recovery.resume import ResumeToken
+
+__all__ = [
+    "CLOSED",
+    "HALF_OPEN",
+    "OPEN",
+    "BreakerConfig",
+    "CircuitBreaker",
+    "PlaneHealth",
+    "PlaneRecovery",
+    "ResumeToken",
+]

@@ -1,0 +1,405 @@
+"""Plane health monitoring and circuit-breaker failover.
+
+The recovery plane's first half: a per-plane health monitor over a
+:class:`~repro.net.multipath.BondedChannel` driving one circuit breaker
+per plane.
+
+Health is an EWMA of each plane's delivery/loss ratio (from the plane's
+channel counters) and serialization-queue latency, optionally sharpened
+by NACK/RTO signals the reliability layer feeds in through
+:meth:`PlaneRecovery.note_nack` / :meth:`PlaneRecovery.note_rto`.  Each
+breaker walks the classic state machine:
+
+    closed --(EWMA loss >= open_threshold)--> open
+    open --(backoff expires)--> half_open
+    half_open --(probe packets delivered)--> closed
+    half_open --(probe dropped)--> open (backoff doubles, capped)
+
+While a breaker is open its plane is excluded from both spreading
+policies: flow-hashed traffic re-hashes over the usable planes, packet
+spray round-robins over them.  A half-open plane admits a bounded number
+of probe packets per evaluation interval; delivered probes close the
+breaker, a dropped probe re-opens it with doubled (capped) backoff.
+
+Everything is deterministic: health evaluation happens lazily from the
+transmit path (``pick``), consuming no RNG draws and adding no pending
+simulator events, so same-seed recovery runs are byte-identical and a
+drained simulation still terminates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigError
+
+#: Breaker states (also exported as gauge values: closed=0, half=1, open=2).
+CLOSED = "closed"
+HALF_OPEN = "half_open"
+OPEN = "open"
+_STATE_GAUGE = {CLOSED: 0, HALF_OPEN: 1, OPEN: 2}
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Tuning for :class:`PlaneRecovery` (all times in RTT multiples)."""
+
+    #: Health-evaluation period: stats deltas are folded into the EWMA at
+    #: most this often (evaluated lazily from the transmit path).
+    poll_rtts: float = 1.0
+    #: EWMA smoothing factor for the loss/latency estimates.
+    ewma_alpha: float = 0.4
+    #: EWMA loss ratio at which a closed breaker trips open.
+    open_threshold: float = 0.5
+    #: Packets a plane must have carried since (re-)closing before the
+    #: loss EWMA is trusted enough to trip the breaker.
+    min_samples: int = 8
+    #: First open -> half-open backoff.
+    open_rtts: float = 8.0
+    #: Backoff multiplier per consecutive re-open.
+    backoff_factor: float = 2.0
+    #: Cap on consecutive backoff escalations.
+    backoff_cap: int = 6
+    #: Probe packets a half-open plane admits per evaluation interval.
+    probe_packets: int = 4
+    #: Delivered probes required to close a half-open breaker.
+    probe_successes: int = 3
+
+    def __post_init__(self) -> None:
+        if self.poll_rtts <= 0:
+            raise ConfigError(f"poll_rtts must be > 0, got {self.poll_rtts}")
+        if not 0 < self.ewma_alpha <= 1:
+            raise ConfigError(
+                f"ewma_alpha must be in (0, 1], got {self.ewma_alpha}"
+            )
+        if not 0 < self.open_threshold <= 1:
+            raise ConfigError(
+                f"open_threshold must be in (0, 1], got {self.open_threshold}"
+            )
+        if self.min_samples < 1:
+            raise ConfigError(f"min_samples must be >= 1, got {self.min_samples}")
+        if self.open_rtts <= 0:
+            raise ConfigError(f"open_rtts must be > 0, got {self.open_rtts}")
+        if self.backoff_factor < 1.0:
+            raise ConfigError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+        if self.backoff_cap < 0:
+            raise ConfigError(f"backoff_cap must be >= 0, got {self.backoff_cap}")
+        if self.probe_packets < 1:
+            raise ConfigError(
+                f"probe_packets must be >= 1, got {self.probe_packets}"
+            )
+        if not 1 <= self.probe_successes:
+            raise ConfigError(
+                f"probe_successes must be >= 1, got {self.probe_successes}"
+            )
+
+
+class PlaneHealth:
+    """EWMA view of one plane's delivery/loss ratio and queue latency."""
+
+    def __init__(self, alpha: float):
+        self.alpha = alpha
+        self.loss = 0.0
+        self.latency = 0.0
+        #: Packets offered since the last breaker (re-)close.
+        self.window_offered = 0
+        self._last_offered = 0
+        self._last_dropped = 0
+        self._seeded = False
+
+    def update(
+        self, offered: int, dropped: int, queue_delay: float
+    ) -> tuple[int, int]:
+        """Fold one stats delta into the EWMAs; returns (d_offered, d_dropped)."""
+        d_off = offered - self._last_offered
+        d_drop = dropped - self._last_dropped
+        self._last_offered = offered
+        self._last_dropped = dropped
+        self.latency = (1 - self.alpha) * self.latency + self.alpha * queue_delay
+        if d_off > 0:
+            ratio = d_drop / d_off
+            if self._seeded:
+                self.loss = (1 - self.alpha) * self.loss + self.alpha * ratio
+            else:
+                self.loss = ratio
+                self._seeded = True
+            self.window_offered += d_off
+        return d_off, d_drop
+
+    def penalize(self, weight: float = 1.0) -> None:
+        """Fold a loss signal that bypassed the counters (NACK/RTO).
+
+        A penalty can only *raise* the loss estimate: an RTO/NACK carries
+        no evidence of successful delivery, so a small diluted penalty
+        must never drag a plane that the counters show as dead back
+        below the trip threshold.
+        """
+        sample = min(max(weight, 0.0), 1.0)
+        blended = (1 - self.alpha) * self.loss + self.alpha * sample
+        self.loss = max(self.loss, blended)
+        # Deliberately does NOT set ``_seeded``: seeding is reserved for
+        # counter-based delivery-ratio samples, so the first real ratio
+        # observation lands at full strength instead of being diluted by
+        # earlier small penalties.
+
+    def reset_window(self) -> None:
+        self.window_offered = 0
+
+
+class CircuitBreaker:
+    """State machine for one plane: closed -> open -> half-open -> closed."""
+
+    def __init__(self, config: BreakerConfig, rtt: float):
+        self.config = config
+        self.rtt = rtt
+        self.state = CLOSED
+        self.reopen_at = 0.0
+        self.consecutive_opens = 0
+        #: Probe budget spent in the current half-open evaluation interval.
+        self.probes_sent = 0
+        #: Probes confirmed delivered across the half-open phase.
+        self.probes_delivered = 0
+
+    @property
+    def backoff(self) -> float:
+        """Current open -> half-open backoff in seconds (capped)."""
+        escalations = min(max(self.consecutive_opens - 1, 0), self.config.backoff_cap)
+        return (
+            self.config.open_rtts
+            * self.rtt
+            * self.config.backoff_factor**escalations
+        )
+
+    def trip(self, now: float) -> None:
+        self.state = OPEN
+        self.consecutive_opens += 1
+        self.reopen_at = now + self.backoff
+        self.probes_sent = 0
+        self.probes_delivered = 0
+
+    def half_open(self) -> None:
+        self.state = HALF_OPEN
+        self.probes_sent = 0
+        self.probes_delivered = 0
+
+    def close(self) -> None:
+        self.state = CLOSED
+        self.consecutive_opens = 0
+        self.probes_sent = 0
+        self.probes_delivered = 0
+
+    @property
+    def admits_probe(self) -> bool:
+        return (
+            self.state == HALF_OPEN
+            and self.probes_sent < self.config.probe_packets
+        )
+
+
+class PlaneRecovery:
+    """Health monitor + per-plane circuit breakers over a bonded channel.
+
+    Construct one per direction and it registers itself via
+    ``bonded.set_recovery(self)``; from then on every ``transmit`` asks
+    :meth:`pick` for a plane.  Evaluation is lazy (driven by the transmit
+    path), so the object schedules no simulator events of its own.
+    """
+
+    def __init__(
+        self,
+        sim,
+        bonded,
+        *,
+        rtt: float,
+        config: BreakerConfig | None = None,
+        name: str | None = None,
+    ):
+        if rtt <= 0:
+            raise ConfigError(f"rtt must be > 0, got {rtt}")
+        planes = getattr(bonded, "planes", None)
+        if not planes:
+            raise ConfigError(
+                "PlaneRecovery needs a BondedChannel (got a plain channel)"
+            )
+        self.sim = sim
+        self.bonded = bonded
+        self.rtt = rtt
+        self.config = config if config is not None else BreakerConfig()
+        self.name = name if name is not None else bonded.name
+        n = len(planes)
+        self.health = [PlaneHealth(self.config.ewma_alpha) for _ in range(n)]
+        self.breakers = [CircuitBreaker(self.config, rtt) for _ in range(n)]
+        self._rr = 0
+        self._last_eval = float("-inf")
+        self._listeners: list = []
+
+        scope = sim.telemetry.metrics.scope(f"recovery.{self.name}")
+        self._m_opens = scope.counter("breaker_opens")
+        self._m_closes = scope.counter("breaker_closes")
+        self._m_probes = scope.counter("probes_sent")
+        self._m_failovers = scope.counter("failover_packets")
+        self._m_rto_signals = scope.counter("rto_signals")
+        self._m_nack_signals = scope.counter("nack_signals")
+        self._g_state = [scope.gauge(f"plane{i}_state") for i in range(n)]
+        self._g_loss = [scope.gauge(f"plane{i}_loss") for i in range(n)]
+        self._trace = sim.telemetry.trace
+        self._track = f"recovery.{self.name}"
+        bonded.set_recovery(self)
+
+    # -- reliability-layer signal feeds ---------------------------------------
+
+    def add_listener(self, callback) -> None:
+        """Register ``callback(plane_index)`` fired when a breaker opens."""
+        self._listeners.append(callback)
+
+    def note_rto(self, src_qpn: int | None = None) -> None:
+        """An RTO fired: a loss signal ahead of the next stats poll."""
+        self._m_rto_signals.inc()
+        self._penalize(src_qpn, weight=0.5)
+
+    def note_nack(self, src_qpn: int | None = None, missing: int = 1) -> None:
+        """A NACK reported ``missing`` chunks outstanding."""
+        self._m_nack_signals.inc()
+        self._penalize(src_qpn, weight=min(1.0, 0.25 * max(missing, 1)))
+
+    def _penalize(self, src_qpn: int | None, weight: float) -> None:
+        n = len(self.breakers)
+        if self.bonded.spread == "flow" and src_qpn is not None:
+            targets = [src_qpn % n]
+        else:
+            # Packet spray (or unknown flow): the loss could have been on
+            # any plane; spread a diluted penalty.
+            targets = range(n)
+            weight = weight / n
+        for i in targets:
+            if self.breakers[i].state == CLOSED:
+                self.health[i].penalize(weight)
+        self._maybe_trip(self.sim.now)
+
+    # -- evaluation ------------------------------------------------------------
+
+    def _evaluate(self, now: float) -> None:
+        """Fold fresh stats deltas into health, walk breaker transitions."""
+        if now - self._last_eval < self.config.poll_rtts * self.rtt:
+            self._tick_open(now)
+            return
+        self._last_eval = now
+        for i, (h, br, plane) in enumerate(
+            zip(self.health, self.breakers, self.bonded.planes)
+        ):
+            snap = plane.stats
+            d_off, d_drop = h.update(
+                snap.packets_offered, snap.packets_dropped, plane.queue_delay
+            )
+            if br.state == HALF_OPEN:
+                if d_drop > 0:
+                    self._trip(i, now, reason="probe_failed")
+                elif d_off > 0:
+                    br.probes_delivered += d_off
+                    if br.probes_delivered >= self.config.probe_successes:
+                        self._close(i)
+                if br.state == HALF_OPEN:
+                    br.probes_sent = 0  # fresh probe budget per interval
+            self._g_loss[i].set(h.loss)
+        self._tick_open(now)
+        self._maybe_trip(now)
+
+    def _tick_open(self, now: float) -> None:
+        for i, br in enumerate(self.breakers):
+            if br.state == OPEN and now >= br.reopen_at:
+                br.half_open()
+                self._g_state[i].set(_STATE_GAUGE[HALF_OPEN])
+                if self._trace.enabled:
+                    self._trace.instant(
+                        "breaker_half_open", cat="recovery", track=self._track,
+                        plane=i,
+                    )
+
+    def _maybe_trip(self, now: float) -> None:
+        for i, (h, br) in enumerate(zip(self.health, self.breakers)):
+            if (
+                br.state == CLOSED
+                and h.window_offered >= self.config.min_samples
+                and h.loss >= self.config.open_threshold
+            ):
+                self._trip(i, now, reason="loss")
+
+    def _trip(self, plane: int, now: float, *, reason: str) -> None:
+        br = self.breakers[plane]
+        br.trip(now)
+        self._m_opens.inc()
+        self._g_state[plane].set(_STATE_GAUGE[OPEN])
+        if self._trace.enabled:
+            self._trace.instant(
+                "breaker_open", cat="recovery", track=self._track,
+                plane=plane, reason=reason, loss=self.health[plane].loss,
+                reopen_at=br.reopen_at,
+            )
+        for callback in self._listeners:
+            callback(plane)
+
+    def _close(self, plane: int) -> None:
+        br = self.breakers[plane]
+        br.close()
+        self.health[plane].loss = 0.0
+        self.health[plane].reset_window()
+        self._m_closes.inc()
+        self._g_state[plane].set(_STATE_GAUGE[CLOSED])
+        if self._trace.enabled:
+            self._trace.instant(
+                "breaker_close", cat="recovery", track=self._track, plane=plane,
+            )
+
+    # -- spreading-policy hook (called by BondedChannel._pick) -----------------
+
+    def pick(self, bonded, packet) -> int | None:
+        """Choose a plane for ``packet``; None falls through to the default."""
+        now = self.sim.now
+        self._evaluate(now)
+        n = len(self.breakers)
+        closed = [i for i in range(n) if self.breakers[i].state == CLOSED]
+        probing = [i for i in range(n) if self.breakers[i].admits_probe]
+        if len(closed) == n:
+            return None  # all healthy: identical to the recovery-free path
+        if bonded.spread == "flow":
+            preferred = packet.src_qpn % n
+            if preferred in closed:
+                return preferred
+            if self.breakers[preferred].admits_probe:
+                self._count_probe(preferred)
+                return preferred
+            pool = closed if closed else probing
+            if not pool:
+                return preferred  # every plane open: fail static
+            choice = pool[packet.src_qpn % len(pool)]
+            if choice in probing and choice not in closed:
+                self._count_probe(choice)
+            self._m_failovers.inc()
+            return choice
+        # Packet spray: round-robin over closed planes plus any half-open
+        # plane with probe budget left.
+        pool = sorted(set(closed) | set(probing))
+        if not pool:
+            pool = list(range(n))  # every plane open: degrade to plain spray
+        choice = pool[self._rr % len(pool)]
+        self._rr += 1
+        if self.breakers[choice].state == HALF_OPEN:
+            self._count_probe(choice)
+        if len(pool) < n:
+            # The spray was diverted around at least one excluded plane.
+            self._m_failovers.inc()
+        return choice
+
+    def _count_probe(self, plane: int) -> None:
+        self.breakers[plane].probes_sent += 1
+        self._m_probes.inc()
+        if self._trace.enabled:
+            self._trace.instant(
+                "breaker_probe", cat="recovery", track=self._track, plane=plane,
+            )
+
+    def states(self) -> list[str]:
+        """Current breaker states, one per plane (for tests/reports)."""
+        return [br.state for br in self.breakers]

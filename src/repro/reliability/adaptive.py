@@ -108,21 +108,41 @@ class ProtocolAdvisor:
 
 
 class DropRateEstimator:
-    """EWMA of the observed chunk drop rate."""
+    """EWMA of the observed chunk drop rate, clamped to [floor, ceiling]."""
 
-    def __init__(self, *, initial: float = 1e-6, alpha: float = 0.3):
+    def __init__(
+        self,
+        *,
+        initial: float = 1e-6,
+        alpha: float = 0.3,
+        floor: float = 0.0,
+        ceiling: float = 0.99,
+    ):
         if not 0 < alpha <= 1:
             raise ConfigError(f"alpha must be in (0, 1], got {alpha}")
+        if not 0.0 <= floor <= ceiling <= 1.0:
+            raise ConfigError(
+                f"need 0 <= floor <= ceiling <= 1, got [{floor}, {ceiling}]"
+            )
         self.alpha = alpha
-        self.estimate = float(initial)
+        self.floor = float(floor)
+        self.ceiling = float(ceiling)
+        self.estimate = min(max(float(initial), self.floor), self.ceiling)
         self.observations = 0
 
     def observe(self, lost_chunks: float, total_chunks: int) -> float:
-        """Fold one message's loss observation into the estimate."""
+        """Fold one message's loss observation into the estimate.
+
+        A ``total_chunks == 0`` sample carries no information (a zero-length
+        message observed nothing), so it leaves the estimate untouched
+        instead of dividing through.
+        """
         if total_chunks <= 0:
-            raise ConfigError("total_chunks must be positive")
-        sample = min(max(lost_chunks, 0.0) / total_chunks, 0.99)
-        self.estimate = (1 - self.alpha) * self.estimate + self.alpha * sample
+            return self.estimate
+        sample = max(lost_chunks, 0.0) / total_chunks
+        sample = min(max(sample, self.floor), self.ceiling)
+        blended = (1 - self.alpha) * self.estimate + self.alpha * sample
+        self.estimate = min(max(blended, self.floor), self.ceiling)
         self.observations += 1
         return self.estimate
 
@@ -255,6 +275,21 @@ class AdaptiveSender:
         scope = self.sim.telemetry.metrics.scope(f"adaptive.{qp.ctx.device.name}")
         self._m_provision_timeouts = scope.counter("provision_timeouts")
         ctrl.on_message(self._on_ctrl)
+
+    def attach_recovery(self, recovery) -> None:
+        """Feed plane-recovery signals to both underlying protocols."""
+        self.sr.attach_recovery(recovery)
+        self.ec.attach_recovery(recovery)
+
+    def resume(self, token, payload: bytes | None = None) -> WriteTicket:
+        """Resume a failed transfer from a :class:`~repro.recovery.ResumeToken`.
+
+        Dispatches to the protocol that originally carried the message
+        (``token.protocol``); the resumed write retransmits only the
+        chunks absent from the token's bitmap.
+        """
+        backend = self.ec if token.protocol == "ec" else self.sr
+        return backend.resume(token, payload)
 
     def write(self, length: int, payload: bytes | None = None) -> WriteTicket:
         """Reliable write via whatever protocol the receiver provisioned.

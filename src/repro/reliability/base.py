@@ -87,6 +87,8 @@ class WriteTicket:
     nacks_received: int = 0
     fell_back_to_sr: bool = False
     failed: bool = False
+    #: Bitmap-driven resumptions consumed so far (see ``repro.recovery``).
+    resumptions: int = 0
 
     @property
     def completion_time(self) -> float:
@@ -113,6 +115,8 @@ class ReceiveTicket:
     decoded_chunks: int = 0
     fell_back_to_sr: bool = False
     finish_time: float | None = None
+    #: Resumption grants issued for this message (see ``repro.recovery``).
+    resumptions: int = 0
 
     def _finish(self, now: float) -> None:
         if self.finish_time is None:

@@ -28,8 +28,10 @@ import numpy as np
 
 from repro.common.errors import ConfigError, DecodeFailure, ProtocolError
 from repro.ec.codec import ErasureCode, get_codec
+from repro.recovery.resume import ResumeToken
 from repro.reliability.base import ControlPath, ReceiveTicket, WriteTicket
-from repro.reliability.messages import EcAck, EcNack
+from repro.reliability.messages import EcAck, EcNack, ResumeAck, ResumeReq
+from repro.reliability.sr import SrConfig, SrReceiver, SrSender
 from repro.sdr.handles import RecvHandle, SendHandle
 from repro.sdr.qp import SdrQp, SdrRecvWr, SdrSendWr
 from repro.telemetry.trace import flow_key
@@ -62,6 +64,12 @@ class EcConfig:
     #: Receiver-side liveness valve: stop the fallback NACK loop after this
     #: many RTTs past the FTO (None = NACK forever, the default).
     serve_deadline_rtts: float | None = None
+    #: Bitmap-driven resumptions allowed per message (0 = disabled).  On
+    #: global timeout the receiver decodes whatever is recoverable
+    #: (data-or-parity aware), both sides re-post the remainder under a
+    #: fresh slot, and a Selective Repeat phase finishes the message
+    #: (``repro.recovery``).
+    max_resumptions: int = 0
 
     def __post_init__(self) -> None:
         if self.k <= 0 or self.m <= 0:
@@ -79,6 +87,10 @@ class EcConfig:
             raise ConfigError("global_timeout_rtts must be > 0")
         if self.serve_deadline_rtts is not None and self.serve_deadline_rtts <= 0:
             raise ConfigError("serve_deadline_rtts must be > 0 or None")
+        if self.max_resumptions < 0:
+            raise ConfigError(
+                f"max_resumptions must be >= 0, got {self.max_resumptions}"
+            )
 
     @property
     def parity_ratio(self) -> float:
@@ -168,6 +180,11 @@ class EcSender:
         self.rtt = rtt if rtt is not None else qp.ctx.channel_rtt_hint()
         ctrl.on_message(self._on_ctrl)
         self._states: dict[int, _EcSendState] = {}
+        #: Internal SR sender driving resumed (post-timeout) phases; created
+        #: lazily so the seed EC configuration stays process-identical.
+        self._sr: SrSender | None = None
+        #: Optional :class:`repro.recovery.PlaneRecovery` fed NACK signals.
+        self.recovery = None
         scope = self.sim.telemetry.metrics.scope(f"ec.{qp.ctx.device.name}")
         self._m_writes_completed = scope.counter("writes_completed")
         self._m_writes_failed = scope.counter("writes_failed")
@@ -176,6 +193,60 @@ class EcSender:
         self._h_write_seconds = scope.histogram("write_seconds")
         self._trace = self.sim.telemetry.trace
         self._track = f"ec.{qp.ctx.device.name}"
+
+    # -- recovery-plane hooks -----------------------------------------------------------
+
+    def attach_recovery(self, recovery) -> None:
+        """Feed NACK loss signals into a plane-recovery monitor."""
+        self.recovery = recovery
+        if self._sr is not None and recovery is not None:
+            self._sr.attach_recovery(recovery)
+
+    def _sr_sender(self) -> SrSender:
+        """The internal SR sender running resumed phases (lazy)."""
+        if self._sr is None:
+            self._sr = SrSender(
+                self.qp,
+                self.ctrl,
+                SrConfig(
+                    nack_enabled=True,
+                    max_resumptions=self.config.max_resumptions,
+                ),
+                rtt=self.rtt,
+            )
+            if self.recovery is not None:
+                self._sr.attach_recovery(self.recovery)
+        return self._sr
+
+    def resume(self, token: ResumeToken, payload: bytes | None = None) -> WriteTicket:
+        """Resume a failed EC write: SR-style remainder under a fresh slot."""
+        return self._sr_sender().resume(token, payload)
+
+    def _try_resume(self, state: _EcSendState) -> bool:
+        """Hand the message to the SR resume path if the budget allows."""
+        cfg = self.config
+        if cfg.max_resumptions <= 0:
+            return False
+        if state.ticket.resumptions >= cfg.max_resumptions:
+            return False
+        self._states.pop(state.ticket.seq, None)
+        for hdl in state.data_hdls + state.parity_hdls:
+            if not hdl.ended:
+                self.qp.send_stream_end(hdl)
+        # The sender has no per-chunk ACK state in EC; the receiver's grant
+        # bitmap (which includes parity-decoded chunks) is authoritative,
+        # so the token starts from an all-missing view.
+        token = ResumeToken(
+            msg_seq=state.ticket.seq,
+            length=state.ticket.length,
+            total_chunks=state.layout.nchunks,
+            bitmap=b"",
+            reason="EC global timeout",
+            attempt=state.ticket.resumptions + 1,
+            protocol="ec",
+        )
+        self._sr_sender()._start_resume(token, state.ticket, state.payload)
+        return True
 
     # -- public API --------------------------------------------------------------------
 
@@ -266,6 +337,8 @@ class EcSender:
         budget = expected + self.config.global_timeout_rtts * self.rtt
         yield self.sim.timeout(budget)
         if not state.done:
+            if self._try_resume(state):
+                return
             self._m_writes_failed.inc()
             state.ticket.failed = True
             self._states.pop(state.ticket.seq, None)
@@ -310,6 +383,11 @@ class EcSender:
             state.ticket.nacks_received += 1
             state.ticket.fell_back_to_sr = True
             self._m_nacks_received.inc()
+            if self.recovery is not None:
+                self.recovery.note_nack(
+                    src_qpn=self.qp.data_qps[0][0].qpn,
+                    missing=len(msg.missing_chunks),
+                )
             if self._trace.enabled:
                 self._trace.instant(
                     "sr_fallback", cat="ec", track=self._track,
@@ -365,6 +443,15 @@ class EcReceiver:
         self.config = config if config is not None else EcConfig()
         self.codec = self.config.make_codec()
         self.rtt = rtt if rtt is not None else qp.ctx.channel_rtt_hint()
+        ctrl.on_message(self._on_resume_req)
+        #: Receive state by original seq, for resumption grants.
+        self._serving: dict[int, tuple] = {}
+        #: Messages already handed off to the SR resume machinery.
+        self._resuming: set[int] = set()
+        #: Tickets whose EC serve loop must stop (slot abandoned).
+        self._abandoned: set[int] = set()
+        #: Internal SR receiver serving resumed phases (lazy).
+        self._sr: SrReceiver | None = None
         scope = self.sim.telemetry.metrics.scope(f"ec.{qp.ctx.device.name}")
         self._m_acks_sent = scope.counter("acks_sent")
         self._m_nacks_sent = scope.counter("nacks_sent")
@@ -432,10 +519,91 @@ class EcReceiver:
             done=self.sim.event(),
             recv_handles=data_handles + parity_handles,
         )
+        self._serving[ticket.seq] = (
+            ticket, layout, mr, mr_offset, data_handles, parity_handles
+        )
         self.sim.process(
             self._serve(ticket, layout, mr, mr_offset, data_handles, parity_handles)
         )
         return ticket
+
+    # -- resumption grants (repro.recovery) ----------------------------------------------
+
+    def _sr_receiver(self) -> SrReceiver:
+        """The internal SR receiver serving resumed phases (lazy)."""
+        if self._sr is None:
+            self._sr = SrReceiver(
+                self.qp, self.ctrl, SrConfig(nack_enabled=True), rtt=self.rtt
+            )
+        return self._sr
+
+    def _on_resume_req(self, msg) -> None:
+        if not isinstance(msg, ResumeReq):
+            return
+        entry = self._serving.get(msg.msg_seq)
+        if entry is None or msg.msg_seq in self._resuming:
+            # Unknown here, or the SR machinery already owns this message
+            # (its grant table answers duplicate and follow-up requests).
+            return
+        self._resuming.add(msg.msg_seq)
+        self._abandoned.add(msg.msg_seq)
+        self.sim.process(self._grant_resume(msg, *entry))
+
+    def _grant_resume(
+        self, msg, ticket, layout, mr, mr_offset, data_handles, parity_handles
+    ):
+        """Decode what parity can rescue, re-post the rest, grant SR-style.
+
+        Data-or-parity aware: every submessage with >= k of its k+m coded
+        chunks present is decoded *now*, so its chunks are pre-seeded into
+        the resumed slot and never retransmitted; the remaining missing data
+        chunks are finished by a Selective Repeat phase over a fresh slot.
+        """
+        delivered = np.zeros(layout.nchunks, dtype=bool)
+        for s in range(layout.nsub):
+            real = layout.sub_chunks(s)
+            base = s * layout.k
+            presence = self._presence(layout, s, data_handles, parity_handles)
+            if self.codec.recoverable(presence):
+                yield from self._decode_sub(
+                    ticket, layout, mr, mr_offset, s, data_handles, parity_handles
+                )
+                delivered[base : base + real] = True
+            else:
+                delivered[base : base + real] = (
+                    data_handles[s].bitmap().as_array()[:real]
+                )
+        for h in data_handles + parity_handles:
+            if not h.completed:
+                self.qp.recv_abandon(h)
+        rh2 = self.qp.recv_post(
+            SdrRecvWr(mr=mr, length=layout.length, mr_offset=mr_offset),
+            preset_chunks=delivered,
+        )
+        ticket.resumptions += 1
+        ticket.recv_handles.append(rh2)
+        srr = self._sr_receiver()
+        ack = ResumeAck(
+            msg_seq=msg.msg_seq,
+            new_seq=rh2.seq,
+            total_chunks=rh2.nchunks,
+            attempt=msg.attempt,
+            bitmap=np.packbits(delivered).tobytes(),
+        )
+        # Register with the SR receiver: it re-announces this grant on
+        # duplicate requests and serves any follow-up resumptions.
+        srr._serving[msg.msg_seq] = (ticket, rh2)
+        srr._resume_grants[msg.msg_seq] = (msg.attempt, ack)
+        srr._m_resumes_granted.inc()
+        if self._trace.enabled:
+            self._trace.instant(
+                "resume_grant", cat="recovery",
+                track=f"recovery.{self.qp.ctx.device.name}",
+                msg=msg.msg_seq, new_msg=rh2.seq, attempt=msg.attempt,
+                delivered=int(delivered.sum()), total=rh2.nchunks,
+            )
+        self.ctrl.send(ack)
+        self.sim.process(srr._serve(ticket, rh2))
 
     # -- receive logic -------------------------------------------------------------------
 
@@ -472,6 +640,8 @@ class EcReceiver:
         )
         guard = self._fto(layout) + 2 * self.rtt
         yield self.sim.any_of([first_chunk, self.sim.timeout(guard)])
+        if ticket.seq in self._abandoned:
+            return  # a resumption grant took over this message
 
         fto_deadline = self.sim.now + self._fto(layout)
         serve_deadline = (
@@ -481,6 +651,8 @@ class EcReceiver:
         )
         # Phase 2: wait until recoverable or FTO expiry.
         while True:
+            if ticket.seq in self._abandoned:
+                return  # a resumption grant took over this message
             pending = [
                 s for s in range(layout.nsub)
                 if not self.codec.recoverable(
@@ -564,57 +736,65 @@ class EcReceiver:
     def _decode_all(self, ticket, layout, mr, mr_offset, data_handles, parity_handles):
         """Recover missing data chunks of every incomplete submessage."""
         for s in range(layout.nsub):
-            real = layout.sub_chunks(s)
-            data_present = data_handles[s].bitmap().as_array()[:real]
-            if data_present.all():
-                continue
-            self._m_submessages_decoded.inc()
-            missing = int((~data_present).sum())
-            ticket.decoded_chunks += missing
-            self._m_decoded_chunks.inc(missing)
-            sub_bytes = layout.sub_bytes(s)
-            decode_start = self.sim.now
-            if self.config.decode_bps is not None:
-                yield self.sim.timeout(sub_bytes * 8.0 / self.config.decode_bps)
-            if self._trace.enabled:
-                self._trace.complete(
-                    "decode", cat="ec", track=self._track,
-                    start=decode_start, msg=ticket.seq, sub=s,
-                    missing_chunks=missing,
-                )
-            if not mr.payload_mode:
-                continue  # sized mode: timing only
-            chunks: dict[int, np.ndarray] = {}
-            base = mr_offset + layout.sub_offset(s)
-            for j in range(real):
-                if data_present[j]:
-                    off = base + j * layout.chunk_bytes
-                    clen = min(layout.chunk_bytes, sub_bytes - j * layout.chunk_bytes)
-                    buf = np.zeros(layout.chunk_bytes, dtype=np.uint8)
-                    buf[:clen] = np.frombuffer(
-                        mr.data, dtype=np.uint8, count=clen, offset=off
-                    )
-                    chunks[j] = buf
-            for j in range(real, layout.k):
-                chunks[j] = np.zeros(layout.chunk_bytes, dtype=np.uint8)
-            parity_mr = parity_handles[s].mr
-            parity_present = parity_handles[s].bitmap().as_array()[: layout.m]
-            for j in range(layout.m):
-                if parity_present[j]:
-                    chunks[layout.k + j] = np.frombuffer(
-                        parity_mr.data,
-                        dtype=np.uint8,
-                        count=layout.chunk_bytes,
-                        offset=j * layout.chunk_bytes,
-                    )
-            try:
-                decoded = self.codec.decode(chunks)
-            except DecodeFailure as exc:  # pragma: no cover - guarded by caller
-                raise ProtocolError(
-                    f"submessage {s} marked recoverable but decode failed"
-                ) from exc
-            for j in np.flatnonzero(~data_present):
-                j = int(j)
+            yield from self._decode_sub(
+                ticket, layout, mr, mr_offset, s, data_handles, parity_handles
+            )
+
+    def _decode_sub(
+        self, ticket, layout, mr, mr_offset, s, data_handles, parity_handles
+    ):
+        """Decode one recoverable submessage in place (no-op if complete)."""
+        real = layout.sub_chunks(s)
+        data_present = data_handles[s].bitmap().as_array()[:real]
+        if data_present.all():
+            return
+        self._m_submessages_decoded.inc()
+        missing = int((~data_present).sum())
+        ticket.decoded_chunks += missing
+        self._m_decoded_chunks.inc(missing)
+        sub_bytes = layout.sub_bytes(s)
+        decode_start = self.sim.now
+        if self.config.decode_bps is not None:
+            yield self.sim.timeout(sub_bytes * 8.0 / self.config.decode_bps)
+        if self._trace.enabled:
+            self._trace.complete(
+                "decode", cat="ec", track=self._track,
+                start=decode_start, msg=ticket.seq, sub=s,
+                missing_chunks=missing,
+            )
+        if not mr.payload_mode:
+            return  # sized mode: timing only
+        chunks: dict[int, np.ndarray] = {}
+        base = mr_offset + layout.sub_offset(s)
+        for j in range(real):
+            if data_present[j]:
                 off = base + j * layout.chunk_bytes
                 clen = min(layout.chunk_bytes, sub_bytes - j * layout.chunk_bytes)
-                mr.data[off : off + clen] = decoded[j, :clen].tobytes()
+                buf = np.zeros(layout.chunk_bytes, dtype=np.uint8)
+                buf[:clen] = np.frombuffer(
+                    mr.data, dtype=np.uint8, count=clen, offset=off
+                )
+                chunks[j] = buf
+        for j in range(real, layout.k):
+            chunks[j] = np.zeros(layout.chunk_bytes, dtype=np.uint8)
+        parity_mr = parity_handles[s].mr
+        parity_present = parity_handles[s].bitmap().as_array()[: layout.m]
+        for j in range(layout.m):
+            if parity_present[j]:
+                chunks[layout.k + j] = np.frombuffer(
+                    parity_mr.data,
+                    dtype=np.uint8,
+                    count=layout.chunk_bytes,
+                    offset=j * layout.chunk_bytes,
+                )
+        try:
+            decoded = self.codec.decode(chunks)
+        except DecodeFailure as exc:  # pragma: no cover - guarded by caller
+            raise ProtocolError(
+                f"submessage {s} marked recoverable but decode failed"
+            ) from exc
+        for j in np.flatnonzero(~data_present):
+            j = int(j)
+            off = base + j * layout.chunk_bytes
+            clen = min(layout.chunk_bytes, sub_bytes - j * layout.chunk_bytes)
+            mr.data[off : off + clen] = decoded[j, :clen].tobytes()

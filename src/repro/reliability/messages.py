@@ -27,6 +27,8 @@ _TYPE_EC_ACK = 3
 _TYPE_EC_NACK = 4
 _TYPE_DONE = 5
 _TYPE_PROVISION = 6
+_TYPE_RESUME_REQ = 7
+_TYPE_RESUME_ACK = 8
 
 _HEADER = struct.Struct("<BI")  # type, msg_seq
 
@@ -192,6 +194,71 @@ class Provision:
         return cls(msg_seq=msg_seq, protocol=name)
 
 
+@dataclass(frozen=True)
+class ResumeReq:
+    """Bitmap-driven resumption request (sender -> receiver).
+
+    The write identified by ``msg_seq`` exhausted its retry budget (or a
+    plane failed over mid-transfer); the sender asks the receiver to
+    abandon the old slot and re-post the remainder under a fresh
+    ``(msg_id, generation)`` slot.  ``attempt`` numbers the resumption
+    (1-based) so duplicate requests are idempotent.
+    """
+
+    msg_seq: int
+    attempt: int = 1
+
+    def pack(self) -> bytes:
+        return _HEADER.pack(_TYPE_RESUME_REQ, self.msg_seq) + struct.pack(
+            "<I", self.attempt
+        )
+
+    @classmethod
+    def unpack(cls, msg_seq: int, body: bytes) -> "ResumeReq":
+        (attempt,) = struct.unpack_from("<I", body)
+        return cls(msg_seq=msg_seq, attempt=attempt)
+
+
+@dataclass(frozen=True)
+class ResumeAck:
+    """Resumption grant (receiver -> sender).
+
+    ``new_seq`` is the freshly posted slot serving the resumed attempt;
+    ``bitmap`` is the receiver's delivered-chunk bitmap (chunk 0 = MSB of
+    byte 0) so the sender retransmits *only missing chunks*.  ``attempt``
+    echoes the request so a late grant for a superseded attempt is
+    discarded instead of desynchronizing the slot lockstep.
+    """
+
+    msg_seq: int
+    new_seq: int
+    total_chunks: int
+    attempt: int = 1
+    bitmap: bytes = b""
+
+    _FIXED = struct.Struct("<IIII")  # new_seq, total_chunks, attempt, bitmap_len
+
+    def pack(self) -> bytes:
+        return (
+            _HEADER.pack(_TYPE_RESUME_ACK, self.msg_seq)
+            + self._FIXED.pack(
+                self.new_seq, self.total_chunks, self.attempt, len(self.bitmap)
+            )
+            + self.bitmap
+        )
+
+    @classmethod
+    def unpack(cls, msg_seq: int, body: bytes) -> "ResumeAck":
+        new_seq, total, attempt, blen = cls._FIXED.unpack_from(body)
+        bitmap = body[cls._FIXED.size : cls._FIXED.size + blen]
+        if len(bitmap) != blen:
+            raise ProtocolError("truncated resume bitmap")
+        return cls(
+            msg_seq=msg_seq, new_seq=new_seq, total_chunks=total,
+            attempt=attempt, bitmap=bitmap,
+        )
+
+
 _DECODERS = {
     _TYPE_ACK: Ack.unpack,
     _TYPE_SR_NACK: SrNack.unpack,
@@ -199,6 +266,8 @@ _DECODERS = {
     _TYPE_EC_NACK: EcNack.unpack,
     _TYPE_DONE: Done.unpack,
     _TYPE_PROVISION: Provision.unpack,
+    _TYPE_RESUME_REQ: ResumeReq.unpack,
+    _TYPE_RESUME_ACK: ResumeAck.unpack,
 }
 
 

@@ -22,8 +22,9 @@ import numpy as np
 
 from repro.common.config import SdrConfig
 from repro.common.errors import ConfigError, DeliveryError
+from repro.recovery.resume import ResumeToken
 from repro.reliability.base import ControlPath, ReceiveTicket, WriteTicket
-from repro.reliability.messages import Ack, SrNack
+from repro.reliability.messages import Ack, ResumeAck, ResumeReq, SrNack
 from repro.sdr.handles import RecvHandle, SendHandle
 from repro.sdr.qp import SdrQp, SdrRecvWr, SdrSendWr
 from repro.sim.engine import Event
@@ -71,6 +72,16 @@ class SrConfig:
     #: Receiver-side liveness valve: give up serving an incomplete message
     #: after this many RTTs (None = wait forever, the default).
     serve_deadline_rtts: float | None = None
+    #: Bitmap-driven resumptions allowed per message (0 = disabled, the
+    #: seed behaviour).  When the retry budget is exhausted the sender
+    #: snapshots the chunk bitmap and re-posts the remainder under a fresh
+    #: ``(msg_id, generation)`` slot instead of failing (``repro.recovery``).
+    max_resumptions: int = 0
+    #: Spacing of resume-request retries, in RTTs (covers lost control
+    #: datagrams in either direction).
+    resume_interval_rtts: float = 4.0
+    #: Resume requests sent without a grant before the write finally fails.
+    max_resume_requests: int = 25
 
     def __post_init__(self) -> None:
         if self.rto_rtts <= 0:
@@ -91,6 +102,14 @@ class SrConfig:
             raise ConfigError("max_message_retransmits must be > 0 or None")
         if self.serve_deadline_rtts is not None and self.serve_deadline_rtts <= 0:
             raise ConfigError("serve_deadline_rtts must be > 0 or None")
+        if self.max_resumptions < 0:
+            raise ConfigError(
+                f"max_resumptions must be >= 0, got {self.max_resumptions}"
+            )
+        if self.resume_interval_rtts <= 0:
+            raise ConfigError("resume_interval_rtts must be > 0")
+        if self.max_resume_requests <= 0:
+            raise ConfigError("max_resume_requests must be > 0")
 
 
 class _SendState:
@@ -107,10 +126,26 @@ class _SendState:
         #: feeds Jacobson RTT samples and the NACK holdoff.
         self.sent_at = np.full(nchunks, np.nan)
         self.inject_done = False
+        #: ``ticket.retransmitted_chunks`` at state creation: the per-attempt
+        #: retry budget measures from here, so a resumed attempt gets a
+        #: fresh budget while the ticket keeps the cumulative count.
+        self.retx_base = ticket.retransmitted_chunks
+        #: True when this state serves a bitmap-driven resumption.
+        self.resumed = False
 
     @property
     def complete(self) -> bool:
         return not self.unacked.any()
+
+
+class _PendingResume:
+    """A resumption waiting for the receiver's grant."""
+
+    def __init__(self, token: ResumeToken, ticket: WriteTicket, payload, granted):
+        self.token = token
+        self.ticket = ticket
+        self.payload = payload
+        self.granted = granted  # Event: fires when the ResumeAck arrives
 
 
 class SrSender:
@@ -135,6 +170,10 @@ class SrSender:
         self._backoff = 0
         ctrl.on_message(self._on_ctrl)
         self._states: dict[int, _SendState] = {}
+        self._pending_resumes: dict[int, _PendingResume] = {}
+        #: Optional :class:`repro.recovery.PlaneRecovery` fed RTO/NACK
+        #: loss signals (see :meth:`attach_recovery`).
+        self.recovery = None
         self._timer_wake: Event | None = None
         self._timer = self.sim.process(self._timer_loop())
         scope = self.sim.telemetry.metrics.scope(f"sr.{qp.ctx.device.name}")
@@ -144,8 +183,17 @@ class SrSender:
         self._m_writes_completed = scope.counter("writes_completed")
         self._m_writes_failed = scope.counter("writes_failed")
         self._h_write_seconds = scope.histogram("write_seconds")
+        rscope = self.sim.telemetry.metrics.scope(
+            f"recovery.{qp.ctx.device.name}"
+        )
+        self._m_resumes_started = rscope.counter("resumes_started")
+        self._m_resumes_completed = rscope.counter("resumes_completed")
+        self._m_resume_failures = rscope.counter("resume_failures")
+        self._m_chunks_skipped = rscope.counter("resumed_chunks_skipped")
+        self._m_chunks_resent = rscope.counter("resumed_chunks_retransmitted")
         self._trace = self.sim.telemetry.trace
         self._track = f"sr.{qp.ctx.device.name}"
+        self._rtrack = f"recovery.{qp.ctx.device.name}"
 
     @property
     def rto(self) -> float:
@@ -178,6 +226,35 @@ class SrSender:
             self._rttvar = 0.75 * self._rttvar + 0.25 * abs(self._srtt - sample)
             self._srtt = 0.875 * self._srtt + 0.125 * sample
 
+    # -- recovery-plane hooks ---------------------------------------------------------
+
+    def attach_recovery(self, recovery) -> None:
+        """Feed RTO/NACK loss signals into a plane-recovery monitor.
+
+        Also registers :meth:`on_plane_failover` so a breaker opening
+        immediately re-arms the in-flight chunk timers (the lost chunks
+        retransmit over the surviving planes instead of waiting out RTOs).
+        """
+        self.recovery = recovery
+        if recovery is not None:
+            recovery.add_listener(self.on_plane_failover)
+
+    def on_plane_failover(self, plane: int) -> None:
+        """Clamp pending chunk deadlines so expiry fires now (failover)."""
+        now = self.sim.now
+        kicked = False
+        for state in self._states.values():
+            mask = state.unacked & np.isfinite(state.deadline)
+            if mask.any():
+                state.deadline[mask] = np.minimum(state.deadline[mask], now)
+                kicked = True
+        if kicked:
+            self._kick_timer()
+
+    def _data_qpn(self) -> int:
+        """A representative data-path QPN (plane attribution under ECMP)."""
+        return self.qp.data_qps[0][0].qpn
+
     # -- public API -----------------------------------------------------------------
 
     def write(self, length: int, payload: bytes | None = None) -> WriteTicket:
@@ -198,6 +275,171 @@ class SrSender:
             )
         self.sim.process(self._inject_all(state, length, payload))
         return ticket
+
+    def resume(self, token: ResumeToken, payload: bytes | None = None) -> WriteTicket:
+        """Resume a failed write from ``token`` (bitmap-driven resumption).
+
+        Re-posts the message under a fresh ``(msg_id, generation)`` slot --
+        packets still in flight toward the old slot die on the NULL mkey --
+        and retransmits only the chunks the receiver's bitmap marks
+        missing.  Returns a fresh :class:`WriteTicket` (``seq`` keeps the
+        original message's sequence number).
+        """
+        ticket = WriteTicket(
+            seq=token.msg_seq,
+            length=token.length,
+            start_time=self.sim.now,
+            done=self.sim.event(),
+        )
+        self._start_resume(token, ticket, payload)
+        return ticket
+
+    # -- resumption (repro.recovery) --------------------------------------------------
+
+    def _try_resume(self, state: _SendState, reason: str) -> bool:
+        """Begin auto-resumption if the budget allows; False = fail for real."""
+        cfg = self.config
+        if cfg.max_resumptions <= 0:
+            return False
+        if state.ticket.resumptions >= cfg.max_resumptions:
+            return False
+        if state.ticket.seq in self._pending_resumes:
+            return False
+        self._states.pop(state.hdl.seq, None)
+        if not state.hdl.ended:
+            self.qp.send_stream_end(state.hdl)
+        delivered = ~state.unacked
+        token = ResumeToken(
+            msg_seq=state.ticket.seq,
+            length=state.ticket.length,
+            total_chunks=state.nchunks,
+            bitmap=np.packbits(delivered).tobytes(),
+            reason=reason,
+            attempt=state.ticket.resumptions + 1,
+            protocol="sr",
+        )
+        self._start_resume(token, state.ticket, getattr(state, "_payload", None))
+        return True
+
+    def _start_resume(self, token: ResumeToken, ticket: WriteTicket, payload):
+        if token.msg_seq in self._pending_resumes:
+            raise ConfigError(f"write seq={token.msg_seq} is already resuming")
+        ticket.resumptions = token.attempt
+        pending = _PendingResume(token, ticket, payload, self.sim.event())
+        self._pending_resumes[token.msg_seq] = pending
+        self._m_resumes_started.inc()
+        if self._trace.enabled:
+            self._trace.instant(
+                "resume_begin", cat="recovery", track=self._rtrack,
+                msg=token.msg_seq, attempt=token.attempt,
+                delivered=token.delivered_chunks, total=token.total_chunks,
+            )
+        self.sim.process(self._request_resume(pending))
+        return ticket
+
+    def _request_resume(self, pending: _PendingResume):
+        """Re-send the resume request until granted or out of retries."""
+        interval = self.config.resume_interval_rtts * self.rtt
+        for _ in range(self.config.max_resume_requests):
+            if pending.granted.triggered:
+                return
+            self.ctrl.send(
+                ResumeReq(
+                    msg_seq=pending.token.msg_seq, attempt=pending.token.attempt
+                )
+            )
+            yield self.sim.any_of([pending.granted, self.sim.timeout(interval)])
+        if pending.granted.triggered:
+            return
+        self._pending_resumes.pop(pending.token.msg_seq, None)
+        self._resume_failed(pending, "resume request never granted")
+
+    def _resume_failed(self, pending: _PendingResume, why: str) -> None:
+        """Terminal resume failure: surface the token's partial bitmap."""
+        token = pending.token
+        self._m_resume_failures.inc()
+        self._m_writes_failed.inc()
+        pending.ticket.failed = True
+        if self._trace.enabled:
+            self._trace.instant(
+                "resume_failed", cat="recovery", track=self._rtrack,
+                msg=token.msg_seq, attempt=token.attempt,
+            )
+        if not pending.ticket.done.triggered:
+            pending.ticket.done.fail(
+                DeliveryError(
+                    f"write seq={token.msg_seq} resume attempt "
+                    f"{token.attempt} failed: {why}",
+                    delivered_chunks=token.delivered_chunks,
+                    total_chunks=token.total_chunks,
+                    bitmap=token.bitmap,
+                )
+            )
+
+    def _launch_resumed(self, pending: _PendingResume, ack: ResumeAck) -> None:
+        """The receiver granted: re-post and inject only the missing chunks."""
+        token = pending.token
+        delivered = np.zeros(token.total_chunks, dtype=bool)
+        if ack.bitmap:
+            delivered = np.unpackbits(
+                np.frombuffer(ack.bitmap, dtype=np.uint8),
+                count=token.total_chunks,
+            ).astype(bool)
+        hdl = self.qp.send_stream_start(
+            SdrSendWr(length=token.length, payload=pending.payload)
+        )
+        if hdl.seq != ack.new_seq:
+            # Order-based matching broke (another message was posted between
+            # the grant and this re-post): the fresh slot does not line up
+            # with the receiver's, so fail cleanly rather than corrupt data.
+            self.qp.send_stream_end(hdl)
+            self._resume_failed(
+                pending,
+                f"slot mismatch (local seq {hdl.seq}, peer {ack.new_seq})",
+            )
+            return
+        state = _SendState(pending.ticket, hdl, token.total_chunks)
+        state._payload = pending.payload  # type: ignore[attr-defined]
+        state.unacked = ~delivered
+        state.resumed = True
+        self._states[hdl.seq] = state
+        skipped = int(delivered.sum())
+        self._m_chunks_skipped.inc(skipped)
+        if self._trace.enabled:
+            # The msg_post carries ``resumed_from`` so lineage folds the
+            # resumed slot into the original message's history.
+            self._trace.instant(
+                "msg_post", cat="sr", track=self._track,
+                msg=hdl.seq, bytes=token.length, chunks=token.total_chunks,
+                resumed_from=token.msg_seq,
+            )
+            self._trace.instant(
+                "resume_post", cat="recovery", track=self._rtrack,
+                msg=token.msg_seq, new_msg=hdl.seq,
+                missing=int(state.unacked.sum()), skipped=skipped,
+                attempt=token.attempt,
+            )
+        self.sim.process(self._inject_missing(state))
+
+    def _inject_missing(self, state: _SendState):
+        """Wire-paced injection of only the chunks the receiver lacks."""
+        for index in np.flatnonzero(state.unacked.copy()):
+            index = int(index)
+            if not state.unacked[index]:
+                continue  # acked while earlier chunks were pacing
+            self._send_chunk(state, index)
+            self._m_chunks_resent.inc()
+            target = state.hdl.packets_posted
+            while state.hdl.packets_injected < target:
+                yield self.sim.timeout(self._pacing_quantum())
+            if state.unacked[index]:
+                state.deadline[index] = self.sim.now + self.rto
+                state.sent_at[index] = self.sim.now
+                self._kick_timer()
+            if state.complete:
+                break
+        state.inject_done = True
+        self._maybe_finish(state)
 
     # -- injection -------------------------------------------------------------------
 
@@ -286,6 +528,8 @@ class SrSender:
                     break
                 self._m_rto_fires.inc()
                 self._m_retransmitted.inc()
+                if self.recovery is not None:
+                    self.recovery.note_rto(src_qpn=self._data_qpn())
                 attempt = int(state.retransmit_count[index])
                 if self._trace.enabled:
                     self._trace.instant(
@@ -304,9 +548,14 @@ class SrSender:
                 state.ticket.retransmitted_chunks += 1
 
     def _budget_exhausted(self, state: _SendState) -> bool:
-        """Per-message retry budget: fail (gracefully) when spent."""
+        """Per-message retry budget: fail (gracefully) when spent.
+
+        The budget is per *attempt* (``retx_base`` resets it on resumption);
+        the ticket still accumulates the total across attempts.
+        """
         budget = self.config.max_message_retransmits
-        if budget is not None and state.ticket.retransmitted_chunks >= budget:
+        spent = state.ticket.retransmitted_chunks - state.retx_base
+        if budget is not None and spent >= budget:
             self._fail(
                 state,
                 f"write seq={state.ticket.seq} exceeded message retransmit "
@@ -316,9 +565,15 @@ class SrSender:
         return False
 
     def _fail(self, state: _SendState, reason: str) -> None:
+        """Retry budget spent: resume if allowed, else fail for real."""
+        if self._try_resume(state, reason):
+            return
+        self._fail_final(state, reason)
+
+    def _fail_final(self, state: _SendState, reason: str) -> None:
         self._m_writes_failed.inc()
         state.ticket.failed = True
-        self._states.pop(state.ticket.seq, None)
+        self._states.pop(state.hdl.seq, None)
         delivered = ~state.unacked
         if self._trace.enabled:
             self._trace.instant(
@@ -367,6 +622,10 @@ class SrSender:
                 return
             state.ticket.nacks_received += 1
             self._m_nacks_received.inc()
+            if self.recovery is not None:
+                self.recovery.note_nack(
+                    src_qpn=self._data_qpn(), missing=len(msg.chunks)
+                )
             now = self.sim.now
             holdoff = self.config.nack_holdoff_rtts * self.rtt
             for index in msg.chunks:
@@ -397,14 +656,26 @@ class SrSender:
                     state.sent_at[index] = now
                     state.ticket.retransmitted_chunks += 1
                     self._m_retransmitted.inc()
+        elif isinstance(msg, ResumeAck):
+            pending = self._pending_resumes.get(msg.msg_seq)
+            if pending is None:
+                return  # duplicate grant: the resumed state already launched
+            if msg.attempt != pending.token.attempt:
+                return  # late grant for a superseded attempt
+            del self._pending_resumes[msg.msg_seq]
+            if not pending.granted.triggered:
+                pending.granted.succeed(None)
+            self._launch_resumed(pending, msg)
 
     def _maybe_finish(self, state: _SendState) -> None:
         if state.complete and not state.ticket.failed:
             if not state.hdl.ended:
                 self.qp.send_stream_end(state.hdl)
-            self._states.pop(state.ticket.seq, None)
+            self._states.pop(state.hdl.seq, None)
             state.ticket._finish(self.sim.now)
             self._m_writes_completed.inc()
+            if state.resumed:
+                self._m_resumes_completed.inc()
             self._h_write_seconds.observe(self.sim.now - state.ticket.start_time)
             if self._trace.enabled:
                 self._trace.complete(
@@ -432,11 +703,22 @@ class SrReceiver:
         self.ctrl = ctrl
         self.config = config if config is not None else SrConfig()
         self.rtt = rtt if rtt is not None else qp.ctx.channel_rtt_hint()
+        ctrl.on_message(self._on_ctrl)
+        #: Messages this receiver is (or was) serving, by original seq;
+        #: resumption grants re-point the entry at the latest handle.
+        self._serving: dict[int, tuple[ReceiveTicket, RecvHandle]] = {}
+        #: Highest granted attempt + its ResumeAck, for idempotent re-grants.
+        self._resume_grants: dict[int, tuple[int, ResumeAck]] = {}
         scope = self.sim.telemetry.metrics.scope(f"sr.{qp.ctx.device.name}")
         self._m_acks_sent = scope.counter("acks_sent")
         self._m_nacks_sent = scope.counter("nacks_sent")
+        rscope = self.sim.telemetry.metrics.scope(
+            f"recovery.{qp.ctx.device.name}"
+        )
+        self._m_resumes_granted = rscope.counter("resumes_granted")
         self._trace = self.sim.telemetry.trace
         self._track = f"sr.{qp.ctx.device.name}"
+        self._rtrack = f"recovery.{qp.ctx.device.name}"
 
     @property
     def acks_sent(self) -> int:
@@ -454,8 +736,58 @@ class SrReceiver:
         ticket = ReceiveTicket(
             seq=rh.seq, length=length, done=self.sim.event(), recv_handles=[rh]
         )
+        self._serving[rh.seq] = (ticket, rh)
         self.sim.process(self._serve(ticket, rh))
         return ticket
+
+    # -- resumption grants (repro.recovery) --------------------------------------------
+
+    def _on_ctrl(self, msg) -> None:
+        if not isinstance(msg, ResumeReq):
+            return
+        prev = self._resume_grants.get(msg.msg_seq)
+        if prev is not None and prev[0] >= msg.attempt:
+            # Duplicate request (our grant was lost or is in flight):
+            # re-announce the same grant instead of re-posting.
+            self.ctrl.send(prev[1])
+            return
+        entry = self._serving.get(msg.msg_seq)
+        if entry is None:
+            return  # not a message this receiver ever served
+        self._grant_resume(msg, *entry)
+
+    def _grant_resume(
+        self, msg: ResumeReq, ticket: ReceiveTicket, rh: RecvHandle
+    ) -> None:
+        """Abandon the old slot, re-post pre-seeded, grant the resumption."""
+        delivered = rh.bitmap().as_array().astype(bool).copy()
+        if not rh.completed and not rh.all_chunks_received():
+            # Old in-flight packets die on the NULL mkey from here on.
+            self.qp.recv_abandon(rh)
+        rh2 = self.qp.recv_post(
+            SdrRecvWr(mr=rh.mr, length=rh.length, mr_offset=rh.mr_offset),
+            preset_chunks=delivered,
+        )
+        ticket.resumptions += 1
+        ticket.recv_handles.append(rh2)
+        self._serving[msg.msg_seq] = (ticket, rh2)
+        ack = ResumeAck(
+            msg_seq=msg.msg_seq,
+            new_seq=rh2.seq,
+            total_chunks=rh2.nchunks,
+            attempt=msg.attempt,
+            bitmap=np.packbits(delivered).tobytes(),
+        )
+        self._resume_grants[msg.msg_seq] = (msg.attempt, ack)
+        self._m_resumes_granted.inc()
+        if self._trace.enabled:
+            self._trace.instant(
+                "resume_grant", cat="recovery", track=self._rtrack,
+                msg=msg.msg_seq, new_msg=rh2.seq, attempt=msg.attempt,
+                delivered=int(delivered.sum()), total=rh2.nchunks,
+            )
+        self.ctrl.send(ack)
+        self.sim.process(self._serve(ticket, rh2))
 
     def _serve(self, ticket: ReceiveTicket, rh: RecvHandle):
         interval = self.config.ack_interval_rtts * self.rtt
@@ -465,7 +797,12 @@ class SrReceiver:
             else self.sim.now + self.config.serve_deadline_rtts * self.rtt
         )
         last_nack = np.full(rh.nchunks, -np.inf)
+        # ACK/NACK under the handle's own seq: for a resumed serve this is
+        # the fresh slot's seq (what the sender's resumed state is keyed by),
+        # for the original serve it equals ticket.seq.
         while not rh.all_chunks_received():
+            if rh.completed:
+                return  # abandoned by a resumption grant: a new serve took over
             if deadline is not None and self.sim.now >= deadline:
                 delivered = rh.bitmap().as_array()
                 if not ticket.done.triggered:
@@ -482,18 +819,20 @@ class SrReceiver:
             yield self.sim.any_of(
                 [self.sim.timeout(interval), rh.wait_all_chunks()]
             )
-            self._send_ack(ticket.seq, rh)
+            if rh.completed and not rh.all_chunks_received():
+                return  # abandoned while waiting
+            self._send_ack(rh.seq, rh)
             if self.config.nack_enabled and not rh.all_chunks_received():
-                self._send_gap_nacks(ticket.seq, rh, last_nack)
+                self._send_gap_nacks(rh.seq, rh, last_nack)
         # Complete: free SDR resources (arming late-packet protection), then
         # keep re-ACKing briefly in case the final ACK is lost.
-        self._send_ack(ticket.seq, rh, final=True)
+        self._send_ack(rh.seq, rh, final=True)
         rh.complete()
         ticket._finish(self.sim.now)
         grace_end = self.sim.now + self.config.grace_rtts * self.rtt
         while self.sim.now < grace_end:
             yield self.sim.timeout(self.config.rto_rtts * self.rtt)
-            self._send_final_ack(ticket.seq, rh.nchunks)
+            self._send_final_ack(rh.seq, rh.nchunks)
 
     def _send_ack(self, seq: int, rh: RecvHandle, *, final: bool = False) -> None:
         bitmap = rh.bitmap()

@@ -225,6 +225,28 @@ class RecvHandle:
         ):
             self._all_event.succeed(self)
 
+    def _preseed(self, chunk_mask) -> None:
+        """Mark chunks already delivered by a previous attempt (resumption).
+
+        Runs at post time, before any packet can arrive: seeds the backend
+        packet bitmap, the fill counters and the frontend chunk bitmap so
+        pre-delivered chunks never count as missing, and any late packets
+        for them are filtered as duplicates.
+        """
+        mask = np.asarray(chunk_mask, dtype=bool)
+        if mask.size != self.nchunks:
+            raise SdrStateError(
+                f"preseed mask has {mask.size} chunks, message has {self.nchunks}"
+            )
+        for chunk in np.flatnonzero(mask):
+            chunk = int(chunk)
+            lo = chunk * self.packets_per_chunk
+            hi = min(lo + self.packets_per_chunk, self.npackets)
+            for pkt in range(lo, hi):
+                self.packet_bitmap.set(pkt)
+            self._chunk_fill[chunk] = self._chunk_goal[chunk]
+            self.chunk_bitmap.set(chunk)
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
             f"RecvHandle(seq={self.seq}, chunks={self.chunk_bitmap.count()}/"

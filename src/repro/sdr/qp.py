@@ -171,6 +171,7 @@ class SdrQp:
         self._m_chunks_completed = scope.counter("chunks_completed")
         self._m_generation_rollovers = scope.counter("generation_rollovers")
         self._m_duplicate_packets = scope.counter("duplicate_packets")
+        self._m_recv_abandoned = scope.counter("receives_abandoned")
         self._trace = self.sim.telemetry.trace
         self._track = f"sdr.{dev.name}"
 
@@ -420,8 +421,15 @@ class SdrQp:
 
     # ------------------------------------------------------------------ recv path
 
-    def recv_post(self, wr: SdrRecvWr) -> RecvHandle:
-        """``recv_post``: post a receive buffer and send clear-to-send."""
+    def recv_post(self, wr: SdrRecvWr, *, preset_chunks=None) -> RecvHandle:
+        """``recv_post``: post a receive buffer and send clear-to-send.
+
+        ``preset_chunks`` (a boolean array of chunk flags) marks chunks
+        that are *already present* in the buffer -- the resumption path
+        re-posts a partially delivered message under a fresh
+        ``(msg_id, generation)`` slot and pre-seeds the bitmap so only the
+        missing chunks are outstanding.
+        """
         self._require_connected()
         if wr.length > self.config.max_message_bytes:
             raise ConfigError(
@@ -461,6 +469,8 @@ class SdrQp:
             packets_per_chunk=self.config.packets_per_chunk,
             layout=self.layout,
         )
+        if preset_chunks is not None:
+            hdl._preseed(preset_chunks)
         self._recv_table[msg_id] = hdl
         self.root_table.bind(msg_id, wr.mr, wr.mr_offset)
         self._cts_refresh_budget = 50
@@ -565,6 +575,26 @@ class SdrQp:
             return False
         hdl, pkt_idx, frag = validated
         return self._record_packet(hdl, pkt_idx, frag)
+
+    def recv_abandon(self, hdl: RecvHandle) -> None:
+        """Abandon an incomplete receive: free the slot, arm late protection.
+
+        The resumption path abandons the original slot before re-posting
+        the remainder of the message under a fresh ``(msg_id, generation)``
+        slot; packets still in flight towards the old slot die on the NULL
+        mkey (stage one) or the generation/completed CQE filter (stage two).
+        """
+        if hdl.completed:
+            raise SdrStateError(f"receive (seq={hdl.seq}) already completed")
+        hdl.completed = True
+        self._m_recv_abandoned.inc()
+        if self._trace.enabled:
+            self._trace.instant(
+                "recv_abandon", cat="sdr", track=self._track,
+                msg=hdl.seq, msg_id=hdl.msg_id,
+                delivered=hdl.chunk_bitmap.count(),
+            )
+        self._on_recv_complete(hdl)
 
     def _on_recv_complete(self, hdl: RecvHandle) -> None:
         """Stage-one late protection: point the slot at the NULL mkey."""

@@ -10,12 +10,14 @@ determinism tests.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.common.config import ChannelConfig, DpaConfig, SdrConfig
 from repro.common.errors import ConfigError, ReproError
 from repro.common.units import KiB, MiB
 from repro.faults import FaultSchedule, install_dpa_faults, install_link_faults
+from repro.net.multipath import connect_bonded
+from repro.recovery import PlaneRecovery
 from repro.reliability.adaptive import AdaptiveReceiver, AdaptiveSender
 from repro.reliability.base import ControlPath, ReceiveTicket, WriteTicket
 from repro.reliability.ec import EcConfig, EcReceiver, EcSender
@@ -37,6 +39,9 @@ class DemoResult:
     elapsed: float
     write_tickets: list[WriteTicket] = field(default_factory=list)
     recv_tickets: list[ReceiveTicket] = field(default_factory=list)
+    #: Forward-direction plane recovery when ``recover=True`` and
+    #: ``planes`` is set (None otherwise).
+    recovery: PlaneRecovery | None = None
 
     @property
     def telemetry(self) -> Telemetry:
@@ -73,6 +78,10 @@ def run_demo(
     faults: FaultSchedule | None = None,
     sr_config: SrConfig | None = None,
     ec_config: EcConfig | None = None,
+    planes: int | None = None,
+    spread: str = "flow",
+    recover: bool = False,
+    resumptions: int = 4,
 ) -> DemoResult:
     """Run ``messages`` reliable writes dc-a -> dc-b over a lossy WAN link.
 
@@ -81,6 +90,12 @@ def run_demo(
     transfer under a deterministic fault schedule (both link directions plus
     the receive-side DPA engine); failed writes are tolerated and surface in
     :attr:`DemoResult.failed_writes`.
+
+    ``planes`` bonds the WAN link into that many planes (``spread`` picks
+    the spraying policy).  ``recover=True`` arms the recovery plane:
+    bitmap-driven resumption on the reliability layer (``resumptions``
+    per message, unless the caller's config already allows some) and --
+    on a bonded link -- per-plane circuit-breaker failover.
     """
     if protocol not in ("sr", "ec", "adaptive"):
         raise ConfigError(
@@ -99,10 +114,23 @@ def run_demo(
         mtu_bytes=mtu_bytes,
         drop_probability=drop,
     )
-    fabric.connect(dev_a, dev_b, channel)
+    bonded = None
+    if planes is not None:
+        bonded = connect_bonded(
+            fabric, dev_a, dev_b, channel, planes=planes, spread=spread
+        )
+    else:
+        fabric.connect(dev_a, dev_b, channel)
     if faults is not None:
         # Must precede QP / control-path connects: QPs cache their channel.
         install_link_faults(fabric, dev_a, dev_b, faults)
+
+    recovery = None
+    if recover and bonded is not None:
+        # One monitor per direction; breakers attach to the *inner* bonded
+        # channels (the fault wrappers forward transmits through them).
+        recovery = PlaneRecovery(sim, bonded[0], rtt=channel.rtt)
+        PlaneRecovery(sim, bonded[1], rtt=channel.rtt)
 
     # EC needs 2L SDR receive slots per message (L data + L parity subs).
     sdr_cfg = SdrConfig(
@@ -127,21 +155,30 @@ def run_demo(
     ctrl_a.connect(ctrl_b.info())
     ctrl_b.connect(ctrl_a.info())
 
+    sr_cfg = sr_config if sr_config is not None else SrConfig(nack_enabled=nack)
+    ec_cfg = ec_config if ec_config is not None else EcConfig()
+    if recover:
+        # Arm bitmap-driven resumption unless the caller already did.
+        if sr_cfg.max_resumptions <= 0:
+            sr_cfg = replace(sr_cfg, max_resumptions=resumptions)
+        if ec_cfg.max_resumptions <= 0:
+            ec_cfg = replace(ec_cfg, max_resumptions=resumptions)
+
     if protocol == "sr":
-        sr_cfg = sr_config if sr_config is not None else SrConfig(nack_enabled=nack)
         sender = SrSender(qp_a, ctrl_a, sr_cfg)
         receiver = SrReceiver(qp_b, ctrl_b, sr_cfg)
     elif protocol == "ec":
-        ec_cfg = ec_config if ec_config is not None else EcConfig()
         sender = EcSender(qp_a, ctrl_a, ec_cfg)
         receiver = EcReceiver(qp_b, ctrl_b, ec_cfg)
     else:
         sender = AdaptiveSender(
-            qp_a, ctrl_a, sr_config=sr_config, ec_config=ec_config
+            qp_a, ctrl_a, sr_config=sr_cfg, ec_config=ec_cfg
         )
         receiver = AdaptiveReceiver(
-            qp_b, ctrl_b, sr_config=sr_config, ec_config=ec_config
+            qp_b, ctrl_b, sr_config=sr_cfg, ec_config=ec_cfg
         )
+    if recovery is not None:
+        sender.attach_recovery(recovery)
 
     mr = ctx_b.mr_reg(message_bytes)
     write_tickets: list[WriteTicket] = []

@@ -31,9 +31,15 @@ Attribution categories
 ``rto_wait``        idle, ended by an RTO fire (the ``alpha*RTT`` penalty)
 ``loss_recovery``   idle, ended by a NACK-triggered retransmission
 ``decode``          EC decode CPU time on the receiver
+``recovery``        idle, ended by a resumption event (resume request /
+                    grant / re-post -- see ``repro.recovery``)
 ``ack_wait``        trailing propagation + final-ACK return (>= RTT/2)
 ``other``           idle not explained by any recorded trigger
 ==================  =========================================================
+
+A resumed transfer re-posts under a fresh slot whose ``msg_post`` carries
+``resumed_from=<original seq>``; the analyzer folds the new slot's events
+into the original message's lineage, exactly like EC submessage members.
 
 On a loss-free SR run ``span - cts_wait`` reproduces the analytical
 ``sr_expected_completion`` (chunks * T_inj + RTT) -- the validation the
@@ -62,12 +68,18 @@ ATTRIBUTION_CATEGORIES = (
     "rto_wait",
     "loss_recovery",
     "decode",
+    "recovery",
     "ack_wait",
     "other",
 )
 
 #: Events that mark a loss-recovery trigger when they end an idle gap.
 _NACK_TRIGGERS = frozenset({"nack_retx", "gap_nack", "ec_nack", "sr_fallback"})
+
+#: Events that mark a resumption trigger (blamed on ``recovery``).
+_RECOVERY_TRIGGERS = frozenset(
+    {"resume_begin", "resume_grant", "resume_post", "recv_abandon"}
+)
 
 #: Busy-interval category priority when spans overlap (rarer wins).
 _BUSY_PRIORITY = {"decode": 3, "retransmit": 2, "first_transmit": 1}
@@ -182,6 +194,12 @@ class LineageAnalyzer:
             msg = self._msg_of(ev)
             if msg is None:
                 continue
+            resumed_from = ev.args.get("resumed_from")
+            if resumed_from is not None and int(resumed_from) != msg:
+                # A resumed transfer's fresh slot: fold its events into the
+                # original message instead of opening a new lineage.
+                self._member_of[msg] = int(resumed_from)
+                continue
             rec = self.messages.setdefault(msg, MessageLineage(msg=msg))
             rec.protocol = ev.cat
             rec.posted = ev.ts
@@ -261,7 +279,9 @@ class LineageAnalyzer:
         triggers = [
             (ts, name)
             for ts, name, _ in rec.events
-            if name == "rto_fire" or name in _NACK_TRIGGERS
+            if name == "rto_fire"
+            or name in _NACK_TRIGGERS
+            or name in _RECOVERY_TRIGGERS
         ]
         last_busy_end = max((end for _, end, _ in busy), default=rec.posted)
         first_busy_start = min((start for start, _, _ in busy), default=rec.completed)
@@ -277,9 +297,13 @@ class LineageAnalyzer:
             elif lo >= last_busy_end:
                 cat = "ack_wait"
             else:
-                # Idle gap in the middle: blame the trigger that ends it.
+                # Idle gap in the middle: blame the trigger that ends it
+                # (recovery outranks RTO: a resume gap contains the RTO
+                # that provoked it).
                 ending = [name for ts, name in triggers if lo < ts <= hi]
-                if any(n == "rto_fire" for n in ending):
+                if any(n in _RECOVERY_TRIGGERS for n in ending):
+                    cat = "recovery"
+                elif any(n == "rto_fire" for n in ending):
                     cat = "rto_wait"
                 elif ending:
                     cat = "loss_recovery"

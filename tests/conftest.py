@@ -9,6 +9,7 @@ import pytest
 from repro.common.config import ChannelConfig, DpaConfig, SdrConfig
 from repro.common.units import KiB, MiB
 from repro.faults import FaultSchedule, install_link_faults
+from repro.net.multipath import connect_bonded
 from repro.reliability.base import ControlPath
 from repro.sdr.context import SdrContext, context_create
 from repro.sdr.qp import SdrQp
@@ -31,6 +32,8 @@ class SdrPair:
     ctrl_a: ControlPath
     ctrl_b: ControlPath
     channel: ChannelConfig
+    #: (forward, reverse) BondedChannel when built with ``planes=...``.
+    bonded: tuple | None = None
 
 
 def make_sdr_pair(
@@ -48,6 +51,8 @@ def make_sdr_pair(
     seed: int = 0,
     dpa: DpaConfig | None = None,
     faults: FaultSchedule | None = None,
+    planes: int | None = None,
+    spread: str = "flow",
 ) -> SdrPair:
     sim = Simulator()
     fabric = Fabric(sim, seed=seed)
@@ -60,7 +65,13 @@ def make_sdr_pair(
         drop_probability=drop,
         jitter_fraction=jitter,
     )
-    fabric.connect(dev_a, dev_b, channel)
+    bonded = None
+    if planes is not None:
+        bonded = connect_bonded(
+            fabric, dev_a, dev_b, channel, planes=planes, spread=spread
+        )
+    else:
+        fabric.connect(dev_a, dev_b, channel)
     if faults is not None:
         # Must precede QP / control-path connects: QPs cache their channel.
         install_link_faults(fabric, dev_a, dev_b, faults)
@@ -94,6 +105,7 @@ def make_sdr_pair(
         ctrl_a=ctrl_a,
         ctrl_b=ctrl_b,
         channel=channel,
+        bonded=bonded,
     )
 
 

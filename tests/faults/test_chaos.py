@@ -72,6 +72,8 @@ LAYERS = {
 def test_liveness_matrix(schedule_name, layer, chaos_seed):
     """Every fault kind x layer combo terminates: delivery or clean error."""
     schedule = named_schedule(schedule_name, rtt=RTT)
+    # Plane-scoped windows only make sense on a bonded (multi-plane) link.
+    needs_planes = any(w.plane is not None for w in schedule.windows)
     result = run_demo(
         messages=6,
         message_bytes=256 * KiB,
@@ -79,6 +81,8 @@ def test_liveness_matrix(schedule_name, layer, chaos_seed):
         distance_km=DISTANCE_KM,
         seed=chaos_seed,
         faults=schedule,
+        planes=2 if needs_planes else None,
+        spread="packet" if needs_planes else "flow",
         **LAYERS[layer],
     )
     for ticket in result.write_tickets:

@@ -12,8 +12,11 @@ from repro.faults import (
     FaultWindow,
     install_dpa_faults,
     install_link_faults,
+    link_faults,
     packet_class,
+    uninstall_link_faults,
 )
+from repro.net.multipath import connect_bonded
 from repro.net.packet import Opcode, Packet
 from repro.sim.engine import Simulator
 from repro.verbs.device import Fabric
@@ -202,3 +205,113 @@ class TestInstallation:
         )
         with pytest.raises(ConfigError):
             install_dpa_faults(sim, engine, sched)
+
+
+class TestUninstall:
+    """Satellite: ``uninstall_link_faults`` restores the original links."""
+
+    def _fabric(self, sched):
+        sim = Simulator()
+        fabric = Fabric(sim, seed=0)
+        a = fabric.add_device("a")
+        b = fabric.add_device("b")
+        cfg = ChannelConfig(
+            bandwidth_bps=100e9, distance_km=100.0, mtu_bytes=4 * KiB
+        )
+        fabric.connect(a, b, cfg)
+        return sim, fabric, a, b
+
+    def test_uninstall_restores_original_links(self):
+        sched = FaultSchedule((FaultWindow(kind="blackout", start=0.0),))
+        sim, fabric, a, b = self._fabric(sched)
+        link = fabric.links[("a", "b")]
+        orig_fwd, orig_rev = link.forward, link.reverse
+        install_link_faults(fabric, a, b, sched)
+        assert fabric.links[("a", "b")].forward is not orig_fwd
+        uninstall_link_faults(fabric, a, b)
+        assert fabric.links[("a", "b")].forward is orig_fwd
+        assert fabric.links[("a", "b")].reverse is orig_rev
+        assert a.link_to("b") is orig_fwd
+        # A second uninstall has nothing to remove.
+        with pytest.raises(ConfigError):
+            uninstall_link_faults(fabric, a, b)
+
+    def test_traffic_is_fault_free_after_uninstall(self):
+        """QPs that cached the wrapper keep working: a disarmed wrapper is
+        a passthrough, so a permanent blackout stops mattering."""
+        sched = FaultSchedule((FaultWindow(kind="blackout", start=0.0),))
+        sim, fabric, a, b = self._fabric(sched)
+        fwd, _rev = install_link_faults(fabric, a, b, sched)
+        got = []
+        fwd.attach_sink(lambda p: got.append(p.psn))
+        fwd.transmit(data_pkt(0))
+        sim.run()
+        assert got == []  # blackout eats it
+        uninstall_link_faults(fabric, a, b)
+        # Uninstall re-pointed the inner channel at the device RX; observe
+        # the restored link directly.  The cached wrapper is a passthrough.
+        inner = fabric.links[("a", "b")].forward
+        inner.attach_sink(lambda p: got.append(p.psn))
+        fwd.transmit(data_pkt(1))
+        sim.run()
+        assert got == [1]
+        reg = sim.telemetry.metrics
+        assert reg.value(f"faults.{fwd.name}.fault_drops") == 1
+
+    def test_context_manager_round_trips(self):
+        sched = FaultSchedule((FaultWindow(kind="blackout", start=0.0),))
+        sim, fabric, a, b = self._fabric(sched)
+        link = fabric.links[("a", "b")]
+        orig_fwd = link.forward
+        with link_faults(fabric, a, b, sched) as (fwd, rev):
+            assert fabric.links[("a", "b")].forward is fwd
+        assert fabric.links[("a", "b")].forward is orig_fwd
+
+
+class TestPlaneScopedWindows:
+    """Satellite: ``FaultWindow(plane=...)`` on bonded links."""
+
+    def _bonded(self, sched, planes=2):
+        sim = Simulator()
+        fabric = Fabric(sim, seed=0)
+        a = fabric.add_device("a")
+        b = fabric.add_device("b")
+        cfg = ChannelConfig(
+            bandwidth_bps=100e9, distance_km=100.0, mtu_bytes=4 * KiB
+        )
+        connect_bonded(fabric, a, b, cfg, planes=planes, spread="packet")
+        fwd, rev = install_link_faults(fabric, a, b, sched)
+        return sim, fwd
+
+    def test_blackout_hits_only_target_plane(self):
+        sched = FaultSchedule(
+            (FaultWindow(kind="blackout", start=0.0, plane=0),)
+        )
+        sim, fwd = self._bonded(sched)
+        got = []
+        fwd.attach_sink(lambda p: got.append(p.psn))
+        for psn in range(8):  # round-robin: even psn -> plane 0, odd -> 1
+            fwd.transmit(data_pkt(psn))
+        sim.run()
+        assert got == [1, 3, 5, 7]
+        assert fwd.planes[0].stats.packets_dropped == 4
+        assert fwd.planes[1].stats.packets_dropped == 0
+
+    def test_plane_window_on_plain_link_rejected(self):
+        sched = FaultSchedule(
+            (FaultWindow(kind="blackout", start=0.0, plane=0),)
+        )
+        sim = Simulator()
+        fabric = Fabric(sim, seed=0)
+        a = fabric.add_device("a")
+        b = fabric.add_device("b")
+        fabric.connect(a, b, ChannelConfig())
+        with pytest.raises(ConfigError, match="not bonded"):
+            install_link_faults(fabric, a, b, sched)
+
+    def test_plane_index_out_of_range_rejected(self):
+        sched = FaultSchedule(
+            (FaultWindow(kind="blackout", start=0.0, plane=5),)
+        )
+        with pytest.raises(ConfigError, match="has 2 planes"):
+            self._bonded(sched, planes=2)

@@ -77,11 +77,72 @@ class TestSpreading:
             BondedChannel(
                 sim, cfg, planes=2, rng=np.random.default_rng(0), spread="magic"
             )
-        with pytest.raises(ConfigError):
+
+    @pytest.mark.parametrize("entries", [0, 1, 3])
+    def test_plane_loss_length_must_match_planes(self, entries):
+        sim = Simulator()
+        cfg = ChannelConfig()
+        with pytest.raises(ConfigError, match="plane_loss"):
             BondedChannel(
                 sim, cfg, planes=2, rng=np.random.default_rng(0),
-                plane_loss=[NoLoss()],
+                plane_loss=[NoLoss() for _ in range(entries)],
             )
+
+    def test_single_plane_matches_plain_channel(self):
+        """planes=1 is a degenerate bond: identical delivery schedule to a
+        plain Channel at the same aggregate bandwidth (loss/jitter off, so
+        both are fully deterministic)."""
+        from repro.net.channel import Channel
+
+        def deliveries(make_channel):
+            sim = Simulator()
+            chan = make_channel(sim)
+            got = []
+            chan.attach_sink(lambda p: got.append((sim.now, p.psn)))
+            for i in range(50):
+                chan.transmit(pkt(psn=i))
+            sim.run()
+            return got
+
+        cfg = ChannelConfig(
+            bandwidth_bps=100e9, distance_km=10.0, mtu_bytes=4 * KiB
+        )
+        plain = deliveries(
+            lambda sim: Channel(sim, cfg, rng=np.random.default_rng(0))
+        )
+        bonded = deliveries(
+            lambda sim: BondedChannel(
+                sim, cfg, planes=1, rng=np.random.default_rng(0),
+                spread="packet",
+            )
+        )
+        assert bonded == plain
+
+    def test_packet_spray_deterministic_under_fixed_seed(self):
+        """Same-seed sprayed runs over lossy planes see identical survivors
+        in identical order; a different seed diverges."""
+
+        def survivors(seed):
+            sim = Simulator()
+            cfg = ChannelConfig(
+                bandwidth_bps=100e9, distance_km=10.0, mtu_bytes=4 * KiB,
+                drop_probability=0.2,
+            )
+            bonded = BondedChannel(
+                sim, cfg, planes=4, rng=np.random.default_rng(seed),
+                spread="packet",
+            )
+            got = []
+            bonded.attach_sink(lambda p: got.append((sim.now, p.psn)))
+            for i in range(300):
+                bonded.transmit(pkt(psn=i))
+            sim.run()
+            return got
+
+        first, second = survivors(7), survivors(7)
+        assert first == second
+        assert 0 < len(first) < 300
+        assert survivors(8) != first
 
 
 class TestAsymmetricPlanes:

@@ -67,7 +67,27 @@ class TestEstimator:
         with pytest.raises(ConfigError):
             DropRateEstimator(alpha=0.0)
         with pytest.raises(ConfigError):
-            DropRateEstimator().observe(1, 0)
+            DropRateEstimator(floor=0.5, ceiling=0.4)
+        with pytest.raises(ConfigError):
+            DropRateEstimator(floor=-0.1)
+
+    def test_zero_chunk_sample_is_ignored(self):
+        """A total_chunks == 0 observation carries no information: it must
+        leave the estimate untouched instead of raising or dividing."""
+        est = DropRateEstimator(initial=0.25, alpha=0.5)
+        before = est.estimate
+        assert est.observe(1, 0) == before
+        assert est.estimate == before
+        assert est.observations == 0
+
+    def test_estimate_clamped_to_floor_and_ceiling(self):
+        est = DropRateEstimator(initial=0.5, alpha=1.0, floor=0.01, ceiling=0.9)
+        # A wild over-count (lost > total) clamps at the ceiling...
+        assert est.observe(1000, 10) == 0.9
+        # ...and a run of clean messages cannot push below the floor.
+        for _ in range(50):
+            est.observe(0, 100)
+        assert est.estimate == 0.01
 
 
 class TestEndToEnd:
