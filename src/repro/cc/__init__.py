@@ -1,0 +1,27 @@
+"""repro.cc -- closed-loop congestion control for the SDR reproduction.
+
+Signals (ECN CE marks + RTT samples) -> controllers (Swift / DCQCN behind
+one :class:`RateController` interface) -> actuation (a sim-time
+token-bucket :class:`Pacer` spacing SDR packet posts).  See
+``docs/congestion.md``.
+"""
+
+from repro.cc.controller import (
+    CC_ALGORITHMS,
+    DcqcnController,
+    RateController,
+    StaticRateController,
+    SwiftController,
+    make_controller,
+)
+from repro.cc.pacer import Pacer
+
+__all__ = [
+    "CC_ALGORITHMS",
+    "DcqcnController",
+    "Pacer",
+    "RateController",
+    "StaticRateController",
+    "SwiftController",
+    "make_controller",
+]

@@ -1,0 +1,164 @@
+"""Sim-time token-bucket pacer: the actuation half of ``repro.cc``.
+
+A :class:`Pacer` sits between one sender's :class:`~repro.sdr.qp.SdrQp`
+and the wire.  ``SdrQp._inject_range`` asks ``reserve(bytes, flow=qpn)``
+before every packet post and sleeps the returned wait, so first
+transmissions *and* retransmissions (SR RTO/NACK, EC fallback) space out
+at the controller's rate through the same bucket.
+
+The pacer also owns the ``cc.<name>`` metrics scope and is the signal
+ingress: the reliability layer feeds RTT samples, ECN echoes, ACK
+progress and losses through it into the attached
+:class:`~repro.cc.controller.RateController`, and every signal both
+updates the controller and increments the corresponding counter, with a
+``cc_rate`` trace counter emitted when the published rate moves by more
+than 1%.
+
+With ``planes > 1`` the budget splits into per-plane buckets keyed by
+``flow % planes`` -- matching :class:`~repro.net.multipath.BondedChannel`
+flow-hash spraying -- and :meth:`plane_backlog` exposes each bucket's
+deficit so :class:`~repro.recovery.PlaneRecovery` can fold self-imposed
+pacing delay out of its plane-health latency signal.
+"""
+
+from __future__ import annotations
+
+from repro.cc.controller import RateController
+from repro.common.errors import ConfigError
+from repro.common.units import KiB
+from repro.sim.engine import Simulator
+
+
+class Pacer:
+    """Token bucket(s) spacing packet posts at the controller's rate."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        controller: RateController,
+        *,
+        name: str = "cc",
+        planes: int = 1,
+        burst_bytes: int = 16 * KiB,
+    ):
+        if planes < 1:
+            raise ConfigError(f"need >= 1 plane, got {planes}")
+        if burst_bytes <= 0:
+            raise ConfigError(f"burst must be > 0, got {burst_bytes}")
+        self.sim = sim
+        self.controller = controller
+        self.name = name
+        self.planes = planes
+        self.burst_bytes = burst_bytes
+        # Per-plane buckets start full; refill is lazy at reserve time.
+        self._tokens = [float(burst_bytes)] * planes
+        self._last = [0.0] * planes
+        scope = sim.telemetry.metrics.scope(f"cc.{name}")
+        self._m_paced = scope.counter("paced_packets")
+        self._m_stalls = scope.counter("pacing_stalls")
+        self._m_stall_seconds = scope.counter("stall_seconds")
+        self._m_ecn_marked = scope.counter("ecn_marked")
+        self._m_ecn_seen = scope.counter("ecn_seen")
+        self._m_rtt_samples = scope.counter("rtt_samples")
+        self._m_acks = scope.counter("acks_clean")
+        self._m_losses = scope.counter("loss_signals")
+        self._g_rate = scope.gauge("rate_bps")
+        if controller.rate_bps is not None:
+            self._g_rate.set(controller.rate_bps)
+        self._trace = sim.telemetry.trace
+        self._track = f"cc.{name}"
+        self._traced_rate = controller.rate_bps
+
+    # -- actuation ---------------------------------------------------------------
+
+    def reserve(self, nbytes: int, *, flow: int = 0) -> float:
+        """Charge ``nbytes`` to ``flow``'s bucket; seconds to wait before posting.
+
+        Buckets may run negative: consecutive same-instant reserves each
+        see a deeper deficit, so the returned waits space the posts
+        exactly one serialization time apart at the controller's rate.
+        A ``None`` controller rate bypasses the buckets entirely (the
+        null-controller fast path -- no state touched, no wait).
+        """
+        rate_bps = self.controller.rate_bps
+        if rate_bps is None:
+            return 0.0
+        plane = flow % self.planes
+        rate = rate_bps / 8.0 / self.planes  # bytes/s budget of this bucket
+        now = self.sim.now
+        tokens = min(
+            float(self.burst_bytes),
+            self._tokens[plane] + (now - self._last[plane]) * rate,
+        )
+        tokens -= nbytes
+        self._tokens[plane] = tokens
+        self._last[plane] = now
+        self._m_paced.inc()
+        if tokens >= 0.0:
+            return 0.0
+        return -tokens / rate
+
+    def note_stall(self, seconds: float) -> None:
+        """Record one pacing stall (called by the injector before sleeping)."""
+        self._m_stalls.inc()
+        self._m_stall_seconds.inc(seconds)
+
+    def plane_backlog(self, plane: int) -> float:
+        """Seconds of pacing deficit currently queued on ``plane``'s bucket.
+
+        Delay that ``reserve`` already promised but the wire has not yet
+        seen; :class:`~repro.recovery.PlaneRecovery` subtracts it from the
+        observed queue delay so pacing is not mistaken for plane sickness.
+        """
+        rate_bps = self.controller.rate_bps
+        if rate_bps is None:
+            return 0.0
+        rate = rate_bps / 8.0 / self.planes
+        tokens = min(
+            float(self.burst_bytes),
+            self._tokens[plane]
+            + (self.sim.now - self._last[plane]) * rate,
+        )
+        return max(0.0, -tokens) / rate
+
+    # -- signal ingress ----------------------------------------------------------
+
+    def on_rtt_sample(self, sample: float) -> None:
+        self._m_rtt_samples.inc()
+        self.controller.on_rtt_sample(sample, now=self.sim.now)
+        self._publish_rate()
+
+    def on_ecn_echo(self, marked: int, seen: int) -> None:
+        self._m_ecn_marked.inc(marked)
+        self._m_ecn_seen.inc(max(seen, marked))
+        self.controller.on_ecn_echo(marked, seen, now=self.sim.now)
+        self._publish_rate()
+
+    def on_ack_progress(self) -> None:
+        self._m_acks.inc()
+        self.controller.on_ack_progress(now=self.sim.now)
+        self._publish_rate()
+
+    def on_loss(self) -> None:
+        self._m_losses.inc()
+        self.controller.on_loss(now=self.sim.now)
+        self._publish_rate()
+
+    def _publish_rate(self) -> None:
+        rate = self.controller.rate_bps
+        if rate is None:
+            return
+        self._g_rate.set(rate)
+        if self._trace.enabled and (
+            self._traced_rate is None
+            or abs(rate - self._traced_rate) > 0.01 * self._traced_rate
+        ):
+            self._trace.counter(
+                "cc_rate", cat="cc", track=self._track, rate_bps=rate
+            )
+            self._traced_rate = rate
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        rate = self.controller.rate_bps
+        shown = "unpaced" if rate is None else f"{rate / 1e9:g} Gbit/s"
+        return f"Pacer({self.name}, {self.controller.name}, {shown})"

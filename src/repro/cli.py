@@ -23,6 +23,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.cc import CC_ALGORITHMS
 from repro.common.errors import ConfigError
 from repro.common.units import KiB, MiB, distance_to_rtt
 from repro.experiments.report import Table
@@ -59,6 +60,21 @@ def _add_link_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--size-mib", type=float, default=128.0)
     parser.add_argument("--chunk-kib", type=float, default=64.0)
     parser.add_argument("--mtu-kib", type=float, default=4.0)
+
+
+def _add_cc_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cc", choices=CC_ALGORITHMS, default="none",
+        help="congestion-control algorithm for the sender (repro.cc)",
+    )
+    parser.add_argument(
+        "--buffer-kib", type=float, default=0.0,
+        help="channel tail-drop buffer in KiB (0 = unbounded)",
+    )
+    parser.add_argument(
+        "--ecn-kib", type=float, default=0.0,
+        help="ECN CE-marking backlog threshold in KiB (0 = no marking)",
+    )
 
 
 def cmd_plan(args) -> int:
@@ -192,6 +208,9 @@ def cmd_report(args) -> int:
         seed=args.seed,
         nack=args.nack,
         telemetry=telemetry,
+        cc=args.cc,
+        buffer_bytes=int(args.buffer_kib * KiB),
+        ecn_threshold_bytes=int(args.ecn_kib * KiB),
     )
     summary = Table(
         title=(
@@ -268,6 +287,9 @@ def cmd_chaos(args) -> int:
         planes=args.planes,
         spread=args.spread,
         recover=args.recover,
+        cc=args.cc,
+        buffer_bytes=int(args.buffer_kib * KiB),
+        ecn_threshold_bytes=int(args.ecn_kib * KiB),
     )
     delivered = result.messages - result.failed_writes
     summary = Table(
@@ -415,6 +437,7 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument(
         "--nack", action="store_true", help="enable SR NACK mode"
     )
+    _add_cc_args(report)
     report.add_argument(
         "--trace", metavar="PATH",
         help="write a Chrome/Perfetto trace_event JSON file",
@@ -450,6 +473,7 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument(
         "--nack", action="store_true", help="enable SR NACK mode"
     )
+    _add_cc_args(chaos)
     chaos.add_argument(
         "--trace-jsonl", metavar="PATH",
         help="write the raw trace-event stream as JSON Lines",

@@ -38,6 +38,12 @@ class ChannelConfig:
     #: When the backlog exceeds it, packets tail-drop -- the load-dependent
     #: congestion loss the Figure 2 campaign attributes to the ISP switch.
     buffer_bytes: int = 0
+    #: ECN marking threshold in bytes of serialization backlog; 0 disables
+    #: marking.  Packets enqueued while the backlog is at or above the
+    #: threshold get their CE bit set (RFC 3168 style) and the receiver
+    #: echoes the mark through the reliability ACK path -- the congestion
+    #: signal ``repro.cc`` controllers react to.
+    ecn_threshold_bytes: int = 0
     #: Switch-buffering coefficient alpha from the SR RTO formula
     #: ``RTO = RTT + alpha * RTT`` (Section 4.1.1).
     alpha: float = 2.0
@@ -63,6 +69,10 @@ class ChannelConfig:
         if self.buffer_bytes < 0:
             raise ConfigError(
                 f"buffer size must be >= 0, got {self.buffer_bytes}"
+            )
+        if self.ecn_threshold_bytes < 0:
+            raise ConfigError(
+                f"ECN threshold must be >= 0, got {self.ecn_threshold_bytes}"
             )
         if self.alpha < 0:
             raise ConfigError(f"alpha must be >= 0, got {self.alpha}")

@@ -37,6 +37,7 @@ class ChannelStats:
     packets_dropped: int = 0
     packets_duplicated: int = 0
     tail_drops: int = 0
+    ecn_marked: int = 0
     bytes_offered: int = 0
     bytes_delivered: int = 0
     busy_until: float = field(default=0.0, repr=False)
@@ -82,8 +83,14 @@ class Channel:
         self._m_dropped = scope.counter("packets_dropped")
         self._m_duplicated = scope.counter("packets_duplicated")
         self._m_tail_drops = scope.counter("tail_drops")
+        self._m_ecn_marked = scope.counter("ecn_marked")
         self._m_bytes_offered = scope.counter("bytes_offered")
         self._m_bytes_delivered = scope.counter("bytes_delivered")
+        # Point-in-time congestion signals, refreshed at every enqueue: the
+        # queueing delay a packet arriving now would see and the equivalent
+        # backlog in bytes (see docs/congestion.md).
+        self._g_queue_delay = scope.gauge("queue_delay_seconds")
+        self._g_backlog = scope.gauge("backlog_bytes")
         self._trace = sim.telemetry.trace
         self._track = f"net.{name}"
 
@@ -122,20 +129,41 @@ class Channel:
         self._m_offered.inc()
         self._m_bytes_offered.inc(packet.length)
 
-        if self.config.buffer_bytes > 0:
-            # Bounded egress buffer: the backlog is the data already queued
-            # but not yet serialized; overflow tail-drops the new packet.
-            backlog = (start - now) * self.config.bytes_per_second
-            if backlog + packet.length > self.config.buffer_bytes:
-                self._m_dropped.inc()
-                self._m_tail_drops.inc()
-                if self._trace.enabled:
-                    self._trace.instant(
-                        "tail_drop", cat="net", track=self._track,
-                        psn=packet.psn, bytes=packet.length,
-                        **self._lineage(packet),
-                    )
-                return now  # dropped at enqueue: no wire time consumed
+        # Serialization backlog at enqueue: data already queued but not yet
+        # on the wire.  It is both the tail-drop criterion and the gauge /
+        # ECN congestion signal.
+        backlog = (start - now) * self.config.bytes_per_second
+        self._g_queue_delay.set(start - now)
+        self._g_backlog.set(backlog)
+        if (
+            self.config.buffer_bytes > 0
+            and backlog + packet.length > self.config.buffer_bytes
+        ):
+            # Bounded egress buffer overflow tail-drops the new packet.
+            self._m_dropped.inc()
+            self._m_tail_drops.inc()
+            if self._trace.enabled:
+                self._trace.instant(
+                    "tail_drop", cat="net", track=self._track,
+                    psn=packet.psn, bytes=packet.length,
+                    **self._lineage(packet),
+                )
+            return now  # dropped at enqueue: no wire time consumed
+
+        if (
+            self.config.ecn_threshold_bytes > 0
+            and backlog >= self.config.ecn_threshold_bytes
+        ):
+            # RFC 3168-style Congestion Experienced mark: the packet is
+            # delivered, the receiver echoes the mark through the
+            # reliability ACK path (see repro.cc).
+            packet.ce = True
+            self._m_ecn_marked.inc()
+            if self._trace.enabled:
+                self._trace.counter(
+                    "net_backlog", cat="net", track=self._track,
+                    backlog_bytes=backlog,
+                )
 
         done = start + self.serialization_time(packet.length)
         self._busy_until = done
@@ -202,6 +230,7 @@ class Channel:
             packets_dropped=self._m_dropped.value,
             packets_duplicated=self._m_duplicated.value,
             tail_drops=self._m_tail_drops.value,
+            ecn_marked=self._m_ecn_marked.value,
             bytes_offered=self._m_bytes_offered.value,
             bytes_delivered=self._m_bytes_delivered.value,
             busy_until=self._busy_until,

@@ -124,6 +124,7 @@ class BondedChannel:
             agg.packets_dropped += snap.packets_dropped
             agg.packets_duplicated += snap.packets_duplicated
             agg.tail_drops += snap.tail_drops
+            agg.ecn_marked += snap.ecn_marked
             agg.bytes_offered += snap.bytes_offered
             agg.bytes_delivered += snap.bytes_delivered
             agg.busy_until = max(agg.busy_until, snap.busy_until)

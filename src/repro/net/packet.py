@@ -67,6 +67,10 @@ class Packet:
     #: NACK) to the retransmitted wire packet; set on the first packet of a
     #: retransmitted chunk only.
     flow_id: int | None = None
+    #: ECN Congestion Experienced: set by a channel whose backlog crossed
+    #: ``ChannelConfig.ecn_threshold_bytes`` at enqueue time; echoed back to
+    #: the sender through the reliability ACK path (see ``repro.cc``).
+    ce: bool = False
     uid: int = field(default_factory=lambda: next(_packet_ids))
 
     def __post_init__(self) -> None:

@@ -234,6 +234,7 @@ class PlaneRecovery:
         self._rr = 0
         self._last_eval = float("-inf")
         self._listeners: list = []
+        self._pacer = None
 
         scope = sim.telemetry.metrics.scope(f"recovery.{self.name}")
         self._m_opens = scope.counter("breaker_opens")
@@ -253,6 +254,18 @@ class PlaneRecovery:
     def add_listener(self, callback) -> None:
         """Register ``callback(plane_index)`` fired when a breaker opens."""
         self._listeners.append(callback)
+
+    def attach_pacer(self, pacer) -> None:
+        """Account for a sender-side :class:`repro.cc.Pacer`'s buckets.
+
+        A pacer deliberately delays injection, which *reduces* the queue
+        delay each plane's channel reports; folding the pacer's per-plane
+        bucket deficit back into the latency signal keeps
+        :class:`PlaneHealth` comparable between paced and unpaced runs
+        (self-imposed pacing delay is congestion pressure, not plane
+        sickness that should trip a breaker).  Pass ``None`` to detach.
+        """
+        self._pacer = pacer
 
     def note_rto(self, src_qpn: int | None = None) -> None:
         """An RTO fired: a loss signal ahead of the next stats poll."""
@@ -290,8 +303,11 @@ class PlaneRecovery:
             zip(self.health, self.breakers, self.bonded.planes)
         ):
             snap = plane.stats
+            queue_delay = plane.queue_delay
+            if self._pacer is not None:
+                queue_delay += self._pacer.plane_backlog(i % self._pacer.planes)
             d_off, d_drop = h.update(
-                snap.packets_offered, snap.packets_dropped, plane.queue_delay
+                snap.packets_offered, snap.packets_dropped, queue_delay
             )
             if br.state == HALF_OPEN:
                 if d_drop > 0:

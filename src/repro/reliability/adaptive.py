@@ -281,6 +281,15 @@ class AdaptiveSender:
         self.sr.attach_recovery(recovery)
         self.ec.attach_recovery(recovery)
 
+    def attach_cc(self, pacer) -> None:
+        """Feed congestion signals into a :class:`repro.cc.Pacer`.
+
+        Signals flow from the SR backend (the only one whose ACK path
+        carries RTT samples and ECN echoes); actuation through the shared
+        SDR QP pacer covers EC injections too.
+        """
+        self.sr.attach_cc(pacer)
+
     def resume(self, token, payload: bytes | None = None) -> WriteTicket:
         """Resume a failed transfer from a :class:`~repro.recovery.ResumeToken`.
 

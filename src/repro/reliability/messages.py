@@ -35,21 +35,38 @@ _HEADER = struct.Struct("<BI")  # type, msg_seq
 
 @dataclass(frozen=True)
 class Ack:
-    """SR acknowledgment: cumulative + selective bitmap window."""
+    """SR acknowledgment: cumulative + selective bitmap window.
+
+    When the receiver observed ECN CE marks since its last ACK, an optional
+    ECN-echo trailer follows the window: one nonzero marker byte, then the
+    CE-marked and total packet counts of the delta.  The marker must be
+    nonzero because the control path zero-pads short datagrams to its
+    minimum wire size -- an all-zero tail parses as "no trailer", so
+    mark-free ACKs keep their exact pre-cc wire encoding.
+    """
 
     msg_seq: int
     cumulative: int
     window_start: int = 0
     window: bytes = b""
+    #: ECN echo delta since the previous ACK: CE-marked / total validated
+    #: packets.  (0, 0) omits the trailer entirely.
+    ecn_marked: int = 0
+    ecn_seen: int = 0
 
     _FIXED = struct.Struct("<III")  # cumulative, window_start, window_len
+    _ECN = struct.Struct("<BII")  # marker (nonzero), ce_count, seen_count
+    _ECN_MARKER = 1
 
     def pack(self) -> bytes:
-        return (
+        raw = (
             _HEADER.pack(_TYPE_ACK, self.msg_seq)
             + self._FIXED.pack(self.cumulative, self.window_start, len(self.window))
             + self.window
         )
+        if self.ecn_marked > 0:
+            raw += self._ECN.pack(self._ECN_MARKER, self.ecn_marked, self.ecn_seen)
+        return raw
 
     @classmethod
     def unpack(cls, msg_seq: int, body: bytes) -> "Ack":
@@ -57,8 +74,13 @@ class Ack:
         window = body[cls._FIXED.size : cls._FIXED.size + wlen]
         if len(window) != wlen:
             raise ProtocolError("truncated ACK window")
+        marked = seen = 0
+        off = cls._FIXED.size + wlen
+        if len(body) >= off + cls._ECN.size and body[off] == cls._ECN_MARKER:
+            _, marked, seen = cls._ECN.unpack_from(body, off)
         return cls(
-            msg_seq=msg_seq, cumulative=cumulative, window_start=start, window=window
+            msg_seq=msg_seq, cumulative=cumulative, window_start=start,
+            window=window, ecn_marked=marked, ecn_seen=seen,
         )
 
     def acked_chunks(self, nchunks: int) -> set[int]:

@@ -16,6 +16,7 @@ optimization.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 
 import numpy as np
@@ -132,6 +133,10 @@ class _SendState:
         self.retx_base = ticket.retransmitted_chunks
         #: True when this state serves a bitmap-driven resumption.
         self.resumed = False
+        #: Retransmitted chunks waiting for wire injection before their
+        #: RTO is (re)armed, in post order; drained by one restamp process.
+        self.restamp: deque[tuple[int, int]] = deque()
+        self.restamping = False
 
     @property
     def complete(self) -> bool:
@@ -174,6 +179,9 @@ class SrSender:
         #: Optional :class:`repro.recovery.PlaneRecovery` fed RTO/NACK
         #: loss signals (see :meth:`attach_recovery`).
         self.recovery = None
+        #: Optional :class:`repro.cc.Pacer` fed RTT samples, ECN echoes and
+        #: loss signals (see :meth:`attach_cc`).
+        self.cc = None
         self._timer_wake: Event | None = None
         self._timer = self.sim.process(self._timer_loop())
         scope = self.sim.telemetry.metrics.scope(f"sr.{qp.ctx.device.name}")
@@ -238,6 +246,18 @@ class SrSender:
         self.recovery = recovery
         if recovery is not None:
             recovery.add_listener(self.on_plane_failover)
+
+    def attach_cc(self, pacer) -> None:
+        """Feed congestion signals into a :class:`repro.cc.Pacer`.
+
+        The sender becomes the pacer's signal ingress: Karn-valid RTT
+        samples and ACK-echoed ECN marks flow in from the ACK path and
+        RTO fires register as loss signals.  (Actuation is separate --
+        attach the pacer to the SDR QP with
+        :meth:`repro.sdr.qp.SdrQp.attach_pacer`.)  Pass ``None`` to
+        detach.
+        """
+        self.cc = pacer
 
     def on_plane_failover(self, plane: int) -> None:
         """Clamp pending chunk deadlines so expiry fires now (failover)."""
@@ -483,6 +503,49 @@ class SrSender:
         cfg = self.qp.data_qps[0][0].channel.config
         return max(self.qp.config.chunk_bytes / cfg.bytes_per_second, 1e-7)
 
+    def _queue_restamp(self, state: _SendState, index: int) -> None:
+        """Defer ``index``'s RTO until its retransmitted packets leave.
+
+        The retransmit analogue of the ``t_start(M) > RTO`` guard in
+        ``_inject_all``: under cc pacing the injector can hold a chunk far
+        longer than the RTO itself, and stamping the deadline at trigger
+        time would re-fire the timer while the chunk still sits in the
+        pacer queue -- a self-feeding spurious-retransmit storm.
+
+        Unpaced injection cannot stall (wire-time only), so without an
+        active pacer rate the deadline is armed inline at trigger time --
+        keeping unpaced retransmission timing (backoff batching, budget
+        exhaustion, failover clamps) exactly as before cc existed.
+        """
+        pacer = self.qp.pacer
+        if pacer is None or pacer.controller.rate_bps is None:
+            state.deadline[index] = self.sim.now + self.rto
+            state.sent_at[index] = self.sim.now
+            return
+        state.deadline[index] = np.inf
+        state.sent_at[index] = np.nan
+        state.restamp.append((index, state.hdl.packets_posted))
+        if not state.restamping:
+            state.restamping = True
+            self.sim.process(self._restamp_loop(state))
+
+    def _restamp_loop(self, state: _SendState):
+        """Drain the restamp queue in post order (injection is FIFO).
+
+        One process per message regardless of how many chunks an RTO
+        storm retransmits at once, so the poller count stays bounded.
+        """
+        while state.restamp:
+            index, target = state.restamp[0]
+            while state.hdl.packets_injected < target:
+                yield self.sim.timeout(self._pacing_quantum())
+            state.restamp.popleft()
+            if state.unacked[index]:
+                state.deadline[index] = self.sim.now + self.rto
+                state.sent_at[index] = self.sim.now
+                self._kick_timer()
+        state.restamping = False
+
     # -- timers ------------------------------------------------------------------------
 
     def _kick_timer(self) -> None:
@@ -530,6 +593,8 @@ class SrSender:
                 self._m_retransmitted.inc()
                 if self.recovery is not None:
                     self.recovery.note_rto(src_qpn=self._data_qpn())
+                if self.cc is not None:
+                    self.cc.on_loss()
                 attempt = int(state.retransmit_count[index])
                 if self._trace.enabled:
                     self._trace.instant(
@@ -543,8 +608,7 @@ class SrSender:
                         msg=state.ticket.seq, chunk=index, attempt=attempt,
                     )
                 self._send_chunk(state, index, attempt=attempt)
-                state.deadline[index] = now + self.rto
-                state.sent_at[index] = now
+                self._queue_restamp(state, index)
                 state.ticket.retransmitted_chunks += 1
 
     def _budget_exhausted(self, state: _SendState) -> bool:
@@ -600,6 +664,7 @@ class SrSender:
                 return
             now = self.sim.now
             progress = False
+            want_rtt = self.config.adaptive_rto or self.cc is not None
             for index in msg.acked_chunks(state.nchunks):
                 if state.unacked[index]:
                     state.unacked[index] = False
@@ -608,13 +673,22 @@ class SrSender:
                     # Karn's rule: only chunks never retransmitted yield an
                     # unambiguous RTT sample.
                     if (
-                        self.config.adaptive_rto
+                        want_rtt
                         and state.retransmit_count[index] == 0
                         and np.isfinite(state.sent_at[index])
                     ):
-                        self._rtt_sample(now - state.sent_at[index])
+                        sample = now - state.sent_at[index]
+                        if self.config.adaptive_rto:
+                            self._rtt_sample(sample)
+                        if self.cc is not None:
+                            self.cc.on_rtt_sample(sample)
             if progress:
                 self._backoff = 0
+            if self.cc is not None:
+                if msg.ecn_marked > 0:
+                    self.cc.on_ecn_echo(msg.ecn_marked, msg.ecn_seen)
+                elif progress:
+                    self.cc.on_ack_progress()
             self._maybe_finish(state)
         elif isinstance(msg, SrNack):
             state = self._states.get(msg.msg_seq)
@@ -652,8 +726,7 @@ class SrSender:
                             msg=state.ticket.seq, chunk=index, attempt=attempt,
                         )
                     self._send_chunk(state, index, attempt=attempt)
-                    state.deadline[index] = now + self.rto
-                    state.sent_at[index] = now
+                    self._queue_restamp(state, index)
                     state.ticket.retransmitted_chunks += 1
                     self._m_retransmitted.inc()
         elif isinstance(msg, ResumeAck):
@@ -843,12 +916,24 @@ class SrReceiver:
             window = bitmap.to_bytes(
                 start_bit=cumulative, max_bytes=self.config.ack_window_bytes
             )
+        # ECN echo (repro.cc): ship the CE delta since the last echo.  A
+        # mark-free period keeps the cursors so the fraction is preserved,
+        # and omits the trailer so the wire bytes match the pre-cc encoding.
+        marked = rh.ce_packets - rh.ce_echoed
+        seen = rh.packets_seen - rh.seen_echoed
+        if marked > 0:
+            rh.ce_echoed = rh.ce_packets
+            rh.seen_echoed = rh.packets_seen
+        else:
+            marked = seen = 0
         self.ctrl.send(
             Ack(
                 msg_seq=seq,
                 cumulative=cumulative,
                 window_start=window_start,
                 window=window,
+                ecn_marked=marked,
+                ecn_seen=seen,
             )
         )
         self._m_acks_sent.inc()

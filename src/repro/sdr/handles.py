@@ -139,6 +139,14 @@ class RecvHandle:
         #: had already landed) -- a receiver-side loss/retransmission signal
         #: used by the adaptive provisioning layer.
         self.duplicate_packets = 0
+        #: Validated data packets seen / seen with the ECN CE bit set --
+        #: the congestion signal the reliability layer echoes back to the
+        #: sender through the ACK path (see ``repro.cc``).
+        self.packets_seen = 0
+        self.ce_packets = 0
+        #: Echo cursors: how much of the above the last ACK already carried.
+        self.ce_echoed = 0
+        self.seen_echoed = 0
         self._chunk_waiters: list[Event] = []
         self._all_event: Event | None = None
         self._posted_at = qp.sim.now

@@ -154,6 +154,9 @@ class SdrQp:
 
         self.connected = False
         self._remote: SdrQpInfo | None = None
+        #: Optional repro.cc token-bucket pacer spacing packet posts; None =
+        #: inject at line rate (see ``attach_pacer``).
+        self.pacer = None
         self._cts_idle_wake = None
         #: Refreshes remaining before the CTS announcer goes idle; reset on
         #: every recv_post.  Bounds event-heap growth while still repairing
@@ -234,6 +237,16 @@ class SdrQp:
         self._remote = remote
         self.connected = True
         self._cts_refresher = self.sim.process(self._cts_refresh_loop())
+
+    def attach_pacer(self, pacer) -> None:
+        """Attach a :class:`repro.cc.Pacer` governing ``_inject_range``.
+
+        Every packet post -- first transmissions and SR/EC retransmissions
+        alike -- reserves its bytes from the pacer's token bucket and
+        sleeps the returned wait, so injection is spaced at the attached
+        controller's rate.  Pass ``None`` to detach.
+        """
+        self.pacer = pacer
 
     # ------------------------------------------------------------------ helpers
 
@@ -390,7 +403,22 @@ class SdrQp:
             flow = None
             if attempt > 0 and (sent == 0 or pkt_idx % ppc == 0):
                 flow = flow_key(hdl.seq, chunk, attempt)
-            qps[pkt_idx % nch].post_send(
+            qp = qps[pkt_idx % nch]
+            if self.pacer is not None:
+                wait = self.pacer.reserve(flen, flow=qp.qpn)
+                if wait > 0.0:
+                    self.pacer.note_stall(wait)
+                    yield self.sim.timeout(wait)
+                    if self._trace.enabled:
+                        # Emitted on wake so the instant lands at the *end*
+                        # of the idle gap it explains (lineage classifies
+                        # gaps by the trigger that ends them -> cc_wait).
+                        self._trace.instant(
+                            "cc_stall", cat="cc", track=self._track,
+                            msg=hdl.seq, pkt=pkt_idx, chunk=chunk,
+                            attempt=attempt, stall=wait,
+                        )
+            qp.post_send(
                 SendWr(
                     length=flen,
                     rkey=self._remote.root_rkey,
@@ -548,6 +576,11 @@ class SdrQp:
                     msg_id=msg_id, generation=cqe.generation,
                 )
             return None
+        # ECN bookkeeping for the ACK echo path (repro.cc): counted here so
+        # the staged (UD-emulation) receive path inherits it too.
+        hdl.packets_seen += 1
+        if cqe.ce:
+            hdl.ce_packets += 1
         return hdl, pkt_idx, frag
 
     def _record_packet(self, hdl: RecvHandle, pkt_idx: int, frag: int) -> bool:

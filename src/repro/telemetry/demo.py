@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+from repro.cc import CC_ALGORITHMS, Pacer, make_controller
 from repro.common.config import ChannelConfig, DpaConfig, SdrConfig
 from repro.common.errors import ConfigError, ReproError
 from repro.common.units import KiB, MiB
@@ -42,6 +43,8 @@ class DemoResult:
     #: Forward-direction plane recovery when ``recover=True`` and
     #: ``planes`` is set (None otherwise).
     recovery: PlaneRecovery | None = None
+    #: The sender-side pacer when ``cc`` is not None (None otherwise).
+    pacer: Pacer | None = None
 
     @property
     def telemetry(self) -> Telemetry:
@@ -82,6 +85,10 @@ def run_demo(
     spread: str = "flow",
     recover: bool = False,
     resumptions: int = 4,
+    cc: str | None = "none",
+    cc_rate_bps: float | None = None,
+    buffer_bytes: int = 0,
+    ecn_threshold_bytes: int = 0,
 ) -> DemoResult:
     """Run ``messages`` reliable writes dc-a -> dc-b over a lossy WAN link.
 
@@ -96,6 +103,14 @@ def run_demo(
     bitmap-driven resumption on the reliability layer (``resumptions``
     per message, unless the caller's config already allows some) and --
     on a bonded link -- per-plane circuit-breaker failover.
+
+    ``cc`` picks the congestion-control algorithm (``none`` / ``swift``
+    / ``dcqcn``); the default null controller attaches a pacer that never
+    paces, so the ``cc.*`` metrics scope exists but the run's event order
+    is untouched.  ``cc=None`` skips the cc plane entirely (no pacer, no
+    ``cc.*`` metrics -- the byte-identity reference).  ``cc_rate_bps``
+    gives the null controller a fixed rate; ``buffer_bytes`` /
+    ``ecn_threshold_bytes`` arm tail drop and CE marking on the link.
     """
     if protocol not in ("sr", "ec", "adaptive"):
         raise ConfigError(
@@ -103,6 +118,8 @@ def run_demo(
         )
     if messages <= 0:
         raise ConfigError(f"messages must be > 0, got {messages}")
+    if cc is not None and cc not in CC_ALGORITHMS:
+        raise ConfigError(f"cc must be one of {CC_ALGORITHMS}, got {cc!r}")
 
     sim = Simulator(telemetry=telemetry)
     fabric = Fabric(sim, seed=seed)
@@ -113,6 +130,8 @@ def run_demo(
         distance_km=distance_km,
         mtu_bytes=mtu_bytes,
         drop_probability=drop,
+        buffer_bytes=buffer_bytes,
+        ecn_threshold_bytes=ecn_threshold_bytes,
     )
     bonded = None
     if planes is not None:
@@ -180,6 +199,19 @@ def run_demo(
     if recovery is not None:
         sender.attach_recovery(recovery)
 
+    pacer = None
+    if cc is not None:
+        knobs = {"rate_bps": cc_rate_bps} if cc == "none" else {}
+        controller = make_controller(
+            cc, line_rate_bps=bandwidth_bps, base_rtt=channel.rtt, **knobs
+        )
+        pacer = Pacer(sim, controller, name="dc-a", planes=planes or 1)
+        qp_a.attach_pacer(pacer)
+        if hasattr(sender, "attach_cc"):  # EC has no RTT/ECN ACK path
+            sender.attach_cc(pacer)
+        if recovery is not None:
+            recovery.attach_pacer(pacer)
+
     mr = ctx_b.mr_reg(message_bytes)
     write_tickets: list[WriteTicket] = []
     recv_tickets: list[ReceiveTicket] = []
@@ -215,4 +247,6 @@ def run_demo(
         elapsed=elapsed,
         write_tickets=write_tickets,
         recv_tickets=recv_tickets,
+        recovery=recovery,
+        pacer=pacer,
     )

@@ -33,6 +33,8 @@ Attribution categories
 ``decode``          EC decode CPU time on the receiver
 ``recovery``        idle, ended by a resumption event (resume request /
                     grant / re-post -- see ``repro.recovery``)
+``cc_wait``         idle, ended by a congestion-control pacing stall
+                    (the sender chose to wait -- see ``repro.cc``)
 ``ack_wait``        trailing propagation + final-ACK return (>= RTT/2)
 ``other``           idle not explained by any recorded trigger
 ==================  =========================================================
@@ -69,6 +71,7 @@ ATTRIBUTION_CATEGORIES = (
     "loss_recovery",
     "decode",
     "recovery",
+    "cc_wait",
     "ack_wait",
     "other",
 )
@@ -80,6 +83,10 @@ _NACK_TRIGGERS = frozenset({"nack_retx", "gap_nack", "ec_nack", "sr_fallback"})
 _RECOVERY_TRIGGERS = frozenset(
     {"resume_begin", "resume_grant", "resume_post", "recv_abandon"}
 )
+
+#: Events that mark a congestion-control pacing stall (``repro.cc`` emits
+#: them on wake, i.e. at the *end* of the idle gap they explain).
+_CC_TRIGGERS = frozenset({"cc_stall"})
 
 #: Busy-interval category priority when spans overlap (rarer wins).
 _BUSY_PRIORITY = {"decode": 3, "retransmit": 2, "first_transmit": 1}
@@ -282,6 +289,7 @@ class LineageAnalyzer:
             if name == "rto_fire"
             or name in _NACK_TRIGGERS
             or name in _RECOVERY_TRIGGERS
+            or name in _CC_TRIGGERS
         ]
         last_busy_end = max((end for _, end, _ in busy), default=rec.posted)
         first_busy_start = min((start for start, _, _ in busy), default=rec.completed)
@@ -298,15 +306,19 @@ class LineageAnalyzer:
                 cat = "ack_wait"
             else:
                 # Idle gap in the middle: blame the trigger that ends it
-                # (recovery outranks RTO: a resume gap contains the RTO
-                # that provoked it).
+                # (recovery outranks RTO outranks NACK outranks pacing: a
+                # resume gap contains the RTO that provoked it, and a stall
+                # coinciding with a retransmit trigger is a symptom of the
+                # loss, not of the pacer).
                 ending = [name for ts, name in triggers if lo < ts <= hi]
                 if any(n in _RECOVERY_TRIGGERS for n in ending):
                     cat = "recovery"
                 elif any(n == "rto_fire" for n in ending):
                     cat = "rto_wait"
-                elif ending:
+                elif any(n in _NACK_TRIGGERS for n in ending):
                     cat = "loss_recovery"
+                elif any(n in _CC_TRIGGERS for n in ending):
+                    cat = "cc_wait"
                 else:
                     cat = "other"
             attribution[cat] += hi - lo

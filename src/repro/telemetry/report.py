@@ -43,8 +43,9 @@ def build_tables(registry: MetricsRegistry) -> list[Table]:
     if channels:
         t = Table(
             title="Channels (net.*)",
-            columns=["channel", "offered", "dropped", "tail", "dup",
-                     "delivered_MiB", "drop_rate"],
+            columns=["channel", "offered", "dropped", "tail", "ecn", "dup",
+                     "delivered_MiB", "drop_rate", "qdelay_us"],
+            notes="qdelay_us = serialization backlog at the last enqueue",
         )
         for name in sorted(channels):
             leaves = channels[name]
@@ -55,9 +56,33 @@ def build_tables(registry: MetricsRegistry) -> list[Table]:
                 int(offered),
                 int(dropped),
                 int(_val(leaves, "tail_drops")),
+                int(_val(leaves, "ecn_marked")),
                 int(_val(leaves, "packets_duplicated")),
                 _val(leaves, "bytes_delivered") / 2**20,
                 dropped / offered if offered else 0.0,
+                _val(leaves, "queue_delay_seconds") * 1e6,
+            )
+        tables.append(t)
+
+    cc = _groups(registry, "cc")
+    if cc:
+        t = Table(
+            title="Congestion control (cc.*)",
+            columns=["sender", "rate_gbps", "paced_pkts", "stalls",
+                     "stall_s", "ecn_echoed", "rtt_samples", "losses"],
+            notes="repro.cc pacer + controller; see docs/congestion.md",
+        )
+        for name in sorted(cc):
+            leaves = cc[name]
+            t.add_row(
+                name,
+                _val(leaves, "rate_bps") / 1e9,
+                int(_val(leaves, "paced_packets")),
+                int(_val(leaves, "pacing_stalls")),
+                _val(leaves, "stall_seconds"),
+                int(_val(leaves, "ecn_marked")),
+                int(_val(leaves, "rtt_samples")),
+                int(_val(leaves, "loss_signals")),
             )
         tables.append(t)
 

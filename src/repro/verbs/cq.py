@@ -43,6 +43,10 @@ class Cqe:
     msg_seq: int | None = field(default=None, compare=False)
     pkt_idx: int | None = field(default=None, compare=False)
     chunk: int | None = field(default=None, compare=False)
+    #: ECN Congestion Experienced, copied from the delivered packet so the
+    #: SDR receive path can echo congestion back through the ACK path (see
+    #: ``repro.cc``).
+    ce: bool = field(default=False, compare=False)
 
 
 class CompletionQueue:

@@ -295,6 +295,7 @@ class UcQp(BaseQp):
                 msg_seq=packet.msg_seq,
                 pkt_idx=packet.pkt_idx,
                 chunk=packet.chunk,
+                ce=packet.ce,
             )
         )
 

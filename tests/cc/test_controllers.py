@@ -1,0 +1,197 @@
+"""Unit tests for the repro.cc rate controllers (pure state machines)."""
+
+import pytest
+
+from repro.cc import (
+    CC_ALGORITHMS,
+    DcqcnController,
+    StaticRateController,
+    SwiftController,
+    make_controller,
+)
+from repro.common.errors import ConfigError
+
+GBPS = 1e9
+
+
+class TestStatic:
+    def test_default_is_unpaced(self):
+        c = StaticRateController()
+        assert c.rate_bps is None
+        # Signals are accepted and ignored.
+        c.on_rtt_sample(1.0)
+        c.on_ecn_echo(5, 10)
+        c.on_ack_progress()
+        c.on_loss()
+        assert c.rate_bps is None
+
+    def test_fixed_rate_never_moves(self):
+        c = StaticRateController(10 * GBPS)
+        c.on_rtt_sample(1.0)
+        c.on_loss()
+        assert c.rate_bps == 10 * GBPS
+
+
+class TestSwift:
+    def make(self, **kw):
+        kw.setdefault("line_rate_bps", 100 * GBPS)
+        kw.setdefault("base_rtt", 1e-3)
+        return SwiftController(**kw)
+
+    def test_starts_at_line_rate(self):
+        assert self.make().rate_bps == 100 * GBPS
+
+    def test_additive_increase_below_target(self):
+        c = self.make()
+        c.rate_bps = 50 * GBPS
+        c.on_rtt_sample(1e-3)  # below 1.5 RTT target
+        assert c.rate_bps == 50 * GBPS + 0.02 * 100 * GBPS
+
+    def test_increase_caps_at_line_rate(self):
+        c = self.make()
+        c.on_rtt_sample(1e-3)
+        assert c.rate_bps == 100 * GBPS
+
+    def test_multiplicative_decrease_scales_with_overshoot(self):
+        c = self.make()
+        c.on_rtt_sample(2e-3)  # target is 1.5e-3: mild overshoot
+        mild = c.rate_bps
+        c2 = self.make()
+        c2.on_rtt_sample(20e-3)  # huge overshoot
+        assert c2.rate_bps < mild < 100 * GBPS
+
+    def test_decrease_capped_per_sample(self):
+        c = self.make(max_decrease=0.5)
+        c.on_rtt_sample(1e3)  # absurd overshoot still cuts at most 50%
+        assert c.rate_bps == pytest.approx(50 * GBPS)
+
+    def test_loss_applies_max_decrease(self):
+        c = self.make(max_decrease=0.5)
+        c.on_loss()
+        assert c.rate_bps == pytest.approx(50 * GBPS)
+
+    def test_rate_floor(self):
+        c = self.make(min_rate_fraction=0.01)
+        for i in range(100):
+            c.on_loss(now=i * 1e-3)  # one base RTT apart: every cut lands
+        assert c.rate_bps == pytest.approx(1 * GBPS)
+
+    def test_ack_progress_increases(self):
+        c = self.make()
+        c.rate_bps = 50 * GBPS
+        c.on_ack_progress()
+        assert c.rate_bps == 50 * GBPS + 0.02 * 100 * GBPS
+
+    def test_cuts_gated_to_one_per_base_rtt(self):
+        c = self.make(max_decrease=0.5)
+        for _ in range(10):
+            c.on_loss(now=0.0)  # a same-instant loss burst is one event
+        assert c.rate_bps == pytest.approx(50 * GBPS)
+        c.on_loss(now=2e-3)  # a base RTT later the next cut is allowed
+        assert c.rate_bps == pytest.approx(25 * GBPS)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            self.make(base_rtt=0.0)
+        with pytest.raises(ConfigError):
+            self.make(target_rtts=0.5)
+        with pytest.raises(ConfigError):
+            self.make(beta=0.0)
+        with pytest.raises(ConfigError):
+            self.make(max_decrease=1.0)
+        with pytest.raises(ConfigError):
+            SwiftController(line_rate_bps=0.0, base_rtt=1e-3)
+
+
+class TestDcqcn:
+    def make(self, **kw):
+        kw.setdefault("line_rate_bps", 100 * GBPS)
+        return DcqcnController(**kw)
+
+    def test_first_mark_cuts_by_half_alpha(self):
+        c = self.make()  # alpha starts at 1
+        c.on_ecn_echo(10, 10)
+        assert c.rate_bps == pytest.approx(50 * GBPS)
+        assert c.target_rate_bps == 100 * GBPS
+
+    def test_alpha_tracks_mark_fraction(self):
+        c = self.make(g=0.5)
+        c.on_ecn_echo(1, 10)  # fraction 0.1
+        assert c.alpha == pytest.approx(0.5 * 1.0 + 0.5 * 0.1)
+
+    def test_clean_rounds_decay_alpha_and_recover(self):
+        c = self.make()
+        c.on_ecn_echo(10, 10)
+        cut = c.rate_bps
+        alpha = c.alpha
+        c.on_ack_progress()
+        assert c.alpha < alpha
+        # Fast recovery halves back toward the pre-cut target.
+        assert c.rate_bps == pytest.approx((100 * GBPS + cut) / 2)
+
+    def test_additive_increase_after_recovery_rounds(self):
+        c = self.make(fast_recovery_rounds=2)
+        c.on_loss()
+        c.on_loss()  # target now 50 Gbit/s, well below line rate
+        for _ in range(2):
+            c.on_ack_progress()
+        target = c.target_rate_bps
+        assert target == pytest.approx(50 * GBPS)
+        c.on_ack_progress()  # past fast recovery: target climbs
+        assert c.target_rate_bps == pytest.approx(target + 0.02 * 100 * GBPS)
+
+    def test_target_capped_at_line_rate(self):
+        c = self.make(fast_recovery_rounds=0)
+        for _ in range(100):
+            c.on_ack_progress()
+        assert c.target_rate_bps == 100 * GBPS
+        assert c.rate_bps == 100 * GBPS
+
+    def test_loss_halves(self):
+        c = self.make()
+        c.on_loss()
+        assert c.rate_bps == pytest.approx(50 * GBPS)
+
+    def test_rate_floor(self):
+        c = self.make(min_rate_fraction=0.01)
+        for _ in range(100):
+            c.on_ecn_echo(10, 10)
+        assert c.rate_bps == pytest.approx(1 * GBPS)
+
+    def test_cuts_gated_by_cut_interval(self):
+        c = self.make(cut_interval=1e-3)
+        for _ in range(10):
+            c.on_ecn_echo(10, 10, now=0.0)  # one congestion event
+        assert c.rate_bps == pytest.approx(50 * GBPS)
+        assert c.alpha == 1.0  # alpha still updates on every echo
+        c.on_ecn_echo(10, 10, now=1e-3)
+        assert c.rate_bps == pytest.approx(25 * GBPS)
+
+    def test_factory_defaults_cut_interval_to_base_rtt(self):
+        c = make_controller("dcqcn", line_rate_bps=100 * GBPS, base_rtt=1e-3)
+        assert c.cut_interval == 1e-3
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            self.make(g=0.0)
+        with pytest.raises(ConfigError):
+            self.make(fast_recovery_rounds=-1)
+        with pytest.raises(ConfigError):
+            self.make(cut_interval=-1.0)
+
+
+class TestFactory:
+    def test_all_algorithms_construct(self):
+        for name in CC_ALGORITHMS:
+            c = make_controller(name, line_rate_bps=100 * GBPS, base_rtt=1e-3)
+            assert c.name == name
+
+    def test_none_accepts_fixed_rate(self):
+        c = make_controller(
+            "none", line_rate_bps=100 * GBPS, base_rtt=1e-3, rate_bps=5 * GBPS
+        )
+        assert c.rate_bps == 5 * GBPS
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigError):
+            make_controller("cubic", line_rate_bps=100 * GBPS, base_rtt=1e-3)

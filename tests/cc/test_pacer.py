@@ -1,0 +1,102 @@
+"""Unit tests for the sim-time token-bucket pacer."""
+
+import pytest
+
+from repro.cc import Pacer, StaticRateController, SwiftController
+from repro.common.errors import ConfigError
+from repro.sim.engine import Simulator
+
+GBPS = 1e9
+
+
+def make(rate_bps=8 * GBPS, **kw):
+    sim = Simulator()
+    pacer = Pacer(sim, StaticRateController(rate_bps), **kw)
+    return sim, pacer
+
+
+class TestReserve:
+    def test_unpaced_bypasses_buckets(self):
+        sim, pacer = make(rate_bps=None)
+        for _ in range(1000):
+            assert pacer.reserve(4096) == 0.0
+        # The fast path must not even count packets (zero overhead).
+        assert sim.telemetry.metrics.value("cc.cc.paced_packets") == 0
+
+    def test_burst_passes_then_paces(self):
+        # 8 Gbit/s = 1 GB/s; 16 KiB burst = four 4 KiB packets for free.
+        sim, pacer = make(burst_bytes=16 * 4096)
+        for _ in range(16):
+            assert pacer.reserve(4096) == 0.0
+        wait = pacer.reserve(4096)
+        assert wait == pytest.approx(4096 / 1e9)
+
+    def test_deficit_accumulates_same_instant(self):
+        sim, pacer = make(burst_bytes=4096)
+        assert pacer.reserve(4096) == 0.0
+        w1 = pacer.reserve(4096)
+        w2 = pacer.reserve(4096)
+        # Consecutive same-instant reserves space exactly one
+        # serialization time further out each.
+        assert w2 - w1 == pytest.approx(4096 / 1e9)
+
+    def test_refill_with_time(self):
+        sim, pacer = make(burst_bytes=4096)
+        pacer.reserve(4096)
+        wait = pacer.reserve(4096)
+        assert wait > 0
+        sim.run(until=wait + 4096 / 1e9)  # debt paid plus one packet credit
+        assert pacer.reserve(4096) == 0.0
+
+    def test_planes_split_budget(self):
+        sim, pacer = make(planes=2, burst_bytes=4096)
+        pacer.reserve(4096, flow=0)
+        pacer.reserve(4096, flow=1)
+        # Each plane has half the rate, so the per-plane deficit drains
+        # at half speed: double the single-bucket wait.
+        w0 = pacer.reserve(4096, flow=0)
+        assert w0 == pytest.approx(2 * 4096 / 1e9)
+        # Plane 1's bucket is independent but equally deep.
+        assert pacer.reserve(4096, flow=3) == pytest.approx(w0)
+
+    def test_plane_backlog_reports_deficit(self):
+        sim, pacer = make(burst_bytes=4096)
+        assert pacer.plane_backlog(0) == 0.0
+        pacer.reserve(4096)
+        pacer.reserve(4096)
+        assert pacer.plane_backlog(0) == pytest.approx(4096 / 1e9)
+
+    def test_validation(self):
+        sim = Simulator()
+        with pytest.raises(ConfigError):
+            Pacer(sim, StaticRateController(), planes=0)
+        with pytest.raises(ConfigError):
+            Pacer(sim, StaticRateController(), burst_bytes=0)
+
+
+class TestSignals:
+    def test_signals_count_and_forward(self):
+        sim = Simulator()
+        ctrl = SwiftController(line_rate_bps=100 * GBPS, base_rtt=1e-3)
+        pacer = Pacer(sim, ctrl, name="s")
+        pacer.on_rtt_sample(10e-3)  # overshoot: rate cut
+        pacer.on_ecn_echo(3, 7)
+        pacer.on_ack_progress()
+        pacer.on_loss()
+        m = sim.telemetry.metrics
+        assert m.value("cc.s.rtt_samples") == 1
+        assert m.value("cc.s.ecn_marked") == 3
+        assert m.value("cc.s.ecn_seen") == 7
+        assert m.value("cc.s.acks_clean") == 1
+        assert m.value("cc.s.loss_signals") == 1
+        assert ctrl.rate_bps < 100 * GBPS
+        # The gauge tracks the controller.
+        assert m.value("cc.s.rate_bps") == ctrl.rate_bps
+
+    def test_stall_accounting(self):
+        sim, pacer = make()
+        pacer.note_stall(0.25)
+        pacer.note_stall(0.5)
+        m = sim.telemetry.metrics
+        assert m.value("cc.cc.pacing_stalls") == 2
+        assert m.value("cc.cc.stall_seconds") == pytest.approx(0.75)

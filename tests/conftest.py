@@ -53,6 +53,8 @@ def make_sdr_pair(
     faults: FaultSchedule | None = None,
     planes: int | None = None,
     spread: str = "flow",
+    buffer_bytes: int = 0,
+    ecn_threshold_bytes: int = 0,
 ) -> SdrPair:
     sim = Simulator()
     fabric = Fabric(sim, seed=seed)
@@ -64,6 +66,8 @@ def make_sdr_pair(
         mtu_bytes=mtu,
         drop_probability=drop,
         jitter_fraction=jitter,
+        buffer_bytes=buffer_bytes,
+        ecn_threshold_bytes=ecn_threshold_bytes,
     )
     bonded = None
     if planes is not None:

@@ -1,4 +1,4 @@
-"""Bounded switch buffers: load-dependent tail drops."""
+"""Bounded switch buffers: load-dependent tail drops and ECN marking."""
 
 import numpy as np
 import pytest
@@ -9,13 +9,14 @@ from repro.common.units import KiB
 from repro.net.channel import Channel
 from repro.net.packet import Opcode, Packet
 from repro.sim.engine import Simulator
+from repro.telemetry import RingBufferSink, Telemetry
 
 
-def make(buffer_kib, bandwidth=10e9):
-    sim = Simulator()
+def make(buffer_kib, bandwidth=10e9, ecn_kib=0, telemetry=None):
+    sim = Simulator(telemetry=telemetry)
     cfg = ChannelConfig(
         bandwidth_bps=bandwidth, distance_km=1.0, mtu_bytes=4 * KiB,
-        buffer_bytes=buffer_kib * KiB,
+        buffer_bytes=buffer_kib * KiB, ecn_threshold_bytes=ecn_kib * KiB,
     )
     ch = Channel(sim, cfg, rng=np.random.default_rng(0))
     got = []
@@ -23,8 +24,8 @@ def make(buffer_kib, bandwidth=10e9):
     return sim, ch, got
 
 
-def pkt():
-    return Packet(dst_qpn=1, opcode=Opcode.WRITE_ONLY, length=4 * KiB)
+def pkt(**kw):
+    return Packet(dst_qpn=1, opcode=Opcode.WRITE_ONLY, length=4 * KiB, **kw)
 
 
 class TestTailDrop:
@@ -74,3 +75,68 @@ class TestTailDrop:
     def test_validation(self):
         with pytest.raises(ConfigError):
             ChannelConfig(buffer_bytes=-1)
+
+    def test_drop_instants_carry_correlation_key(self):
+        """tail_drop traces name msg/pkt/chunk/attempt so lineage can
+        pin every lost packet to the message that owned it."""
+        ring = RingBufferSink()
+        telemetry = Telemetry(trace=True, trace_sinks=[ring])
+        sim, ch, got = make(buffer_kib=16, telemetry=telemetry)
+        for i in range(20):
+            ch.transmit(pkt(msg_seq=7, pkt_idx=i, chunk=i // 4, attempt=0))
+        sim.run()
+        drops = [e for e in ring.events if e.name == "tail_drop"]
+        assert len(drops) == ch.stats.tail_drops > 0
+        for e in drops:
+            assert e.args["msg"] == 7
+            assert {"pkt", "chunk", "attempt"} <= e.args.keys()
+
+
+class TestEcn:
+    def test_marks_when_backlog_crosses_threshold(self):
+        sim, ch, got = make(buffer_kib=0, ecn_kib=8)  # 2-packet threshold
+        for _ in range(10):
+            ch.transmit(pkt())
+        sim.run()
+        # Packets enqueued behind >= 8 KiB of backlog (the 3rd onward)
+        # are CE-marked but still delivered.
+        assert len(got) == 10
+        marked = [p for p in got if p.ce]
+        assert len(marked) == 8
+        assert ch.stats.ecn_marked == 8
+        assert not got[0].ce and not got[1].ce
+
+    def test_paced_traffic_never_marked(self):
+        sim, ch, got = make(buffer_kib=0, ecn_kib=8)
+        gap = 4 * KiB / ch.config.bytes_per_second
+
+        def sender():
+            for _ in range(10):
+                ch.transmit(pkt())
+                yield sim.timeout(gap)
+
+        sim.process(sender())
+        sim.run()
+        assert ch.stats.ecn_marked == 0
+        assert not any(p.ce for p in got)
+
+    def test_disabled_by_default(self):
+        sim, ch, got = make(buffer_kib=0)
+        for _ in range(50):
+            ch.transmit(pkt())
+        sim.run()
+        assert ch.stats.ecn_marked == 0
+        assert not any(p.ce for p in got)
+
+    def test_marking_precedes_overflow(self):
+        """With threshold below the buffer, CE fires before tail drops."""
+        sim, ch, got = make(buffer_kib=16, ecn_kib=8)
+        for _ in range(4):
+            ch.transmit(pkt())  # fits the buffer: no drops yet
+        sim.run()
+        assert ch.stats.tail_drops == 0
+        assert ch.stats.ecn_marked > 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            ChannelConfig(ecn_threshold_bytes=-1)

@@ -47,6 +47,33 @@ class TestRoundtrips:
         raw = EcAck(msg_seq=1).pack() + b"\x00" * 50
         assert decode_message(raw) == EcAck(msg_seq=1)
 
+    def test_ack_ecn_trailer(self):
+        ack = Ack(
+            msg_seq=7, cumulative=12, window_start=8, window=b"\xf0",
+            ecn_marked=3, ecn_seen=17,
+        )
+        decoded = decode_message(ack.pack())
+        assert decoded == ack
+        assert decoded.ecn_marked == 3
+        assert decoded.ecn_seen == 17
+
+    def test_ack_ecn_trailer_survives_zero_padding(self):
+        ack = Ack(msg_seq=2, cumulative=1, ecn_marked=5, ecn_seen=5)
+        assert decode_message(ack.pack() + b"\x00" * 40) == ack
+
+    def test_mark_free_ack_keeps_pre_cc_encoding(self):
+        """(0, 0) omits the trailer: the byte-identity guarantee on the wire."""
+        ack = Ack(msg_seq=7, cumulative=12, window_start=8, window=b"\xf0")
+        raw = ack.pack()
+        assert raw == Ack(msg_seq=7, cumulative=12, window_start=8,
+                          window=b"\xf0", ecn_marked=0, ecn_seen=0).pack()
+        assert len(raw) == len(
+            Ack(msg_seq=7, cumulative=12, window_start=8, window=b"\xf0",
+                ecn_marked=1, ecn_seen=1).pack()
+        ) - Ack._ECN.size
+        decoded = decode_message(raw)
+        assert decoded.ecn_marked == 0 and decoded.ecn_seen == 0
+
 
 class TestValidation:
     def test_too_short(self):
