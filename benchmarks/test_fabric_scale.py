@@ -1,0 +1,53 @@
+"""Open-loop scale: 1000 tenants, >= 100k messages, deterministic drain.
+
+The acceptance run for the fabric subsystem: a heavy-tailed open-loop
+workload across 1000 tenants on the two-tier WAN topology must (a)
+complete -- every flow resolves, the simulator drains, and (b) be a pure
+function of the seed -- running the identical config twice yields a
+byte-identical ``fabric.*`` metrics snapshot digest.
+"""
+
+from repro.experiments.report import Table
+from repro.fabric import ScaleConfig, scale_scenario, tenant_table
+
+from conftest import run_once, show
+
+CONFIG = ScaleConfig()  # defaults: 1000 tenants, ~100k+ messages
+
+
+def test_fabric_scale_completes_deterministically(benchmark):
+    def run():
+        first = scale_scenario(CONFIG)
+        second = scale_scenario(CONFIG)
+        table = Table(
+            title=(
+                f"Open-loop scale: {CONFIG.tenants} tenants, "
+                f"{CONFIG.offered_load_bps / 1e9:.0f} Gbit/s offered for "
+                f"{CONFIG.duration * 1e3:.0f} ms"
+            ),
+            columns=[
+                "messages", "completed", "failed", "gbytes", "drained_ms",
+                "digest", "digests_match",
+            ],
+            notes="two identical runs; digest covers the fabric.* snapshot",
+        )
+        table.add_row(
+            first.messages,
+            first.completed,
+            first.failed,
+            round(first.total_bytes / 1e9, 2),
+            round(first.drained_at * 1e3, 2),
+            first.digest,
+            first.digest == second.digest,
+        )
+        return table, first, second
+
+    table, first, second = run_once(benchmark, run)
+    show(table, tenant_table(first.reports, title="Slowest tenants", limit=10))
+    assert first.messages >= 100_000
+    assert first.completed + first.failed == first.messages
+    assert first.completed > 0.99 * first.messages
+    assert first.drained_at >= CONFIG.duration
+    # Same seed, same config => byte-identical metrics snapshot.
+    assert first.digest == second.digest
+    assert first.messages == second.messages

@@ -14,12 +14,13 @@ from repro.cc.controller import (
     SwiftController,
     make_controller,
 )
-from repro.cc.pacer import Pacer
+from repro.cc.pacer import Pacer, TokenBucketGroup
 
 __all__ = [
     "CC_ALGORITHMS",
     "DcqcnController",
     "Pacer",
+    "TokenBucketGroup",
     "RateController",
     "StaticRateController",
     "SwiftController",

@@ -14,11 +14,29 @@ updates the controller and increments the corresponding counter, with a
 ``cc_rate`` trace counter emitted when the published rate moves by more
 than 1%.
 
+Bucket sharing
+==============
+
+The token buckets themselves live in a :class:`TokenBucketGroup`: one
+bucket per plane, refilled lazily from one :class:`RateController`.  A
+pacer built without an explicit ``buckets=`` argument owns a private
+group -- the historical one-QP-per-link behavior, byte-identical to
+before the split.  When several QPs multiplex one physical link (the
+``repro.fabric`` service layer, or any caller that used to build one
+pacer per QP), they must draw from a *single* per-link group: either
+attach the same :class:`Pacer` to every QP, or build one pacer per QP
+with ``buckets=shared_group`` so each keeps its own metric scope while
+the bucket state -- and therefore the link's rate budget -- is shared.
+A pacer sharing a group must share its controller too (one cc state per
+link); mixing controllers would let each QP pace as if it owned the
+link, which is exactly the bug sharing exists to fix.
+
 With ``planes > 1`` the budget splits into per-plane buckets keyed by
 ``flow % planes`` -- matching :class:`~repro.net.multipath.BondedChannel`
-flow-hash spraying -- and :meth:`plane_backlog` exposes each bucket's
-deficit so :class:`~repro.recovery.PlaneRecovery` can fold self-imposed
-pacing delay out of its plane-health latency signal.
+flow-hash spraying -- unless :meth:`bind_flow` pinned the flow to an
+explicit plane, and :meth:`plane_backlog` exposes each bucket's deficit
+so :class:`~repro.recovery.PlaneRecovery` can fold self-imposed pacing
+delay out of its plane-health latency signal.
 """
 
 from __future__ import annotations
@@ -27,6 +45,88 @@ from repro.cc.controller import RateController
 from repro.common.errors import ConfigError
 from repro.common.units import KiB
 from repro.sim.engine import Simulator
+
+
+class TokenBucketGroup:
+    """Per-link token buckets: one bucket per plane, one shared rate budget.
+
+    The group is the sharing unit: every :class:`Pacer` (or any other
+    admission layer, e.g. the per-tenant quotas in ``repro.fabric``)
+    drawing from the same group charges the same buckets, so N flows on
+    one link split the controller's rate instead of each assuming the
+    full line.  Buckets may run negative: consecutive same-instant
+    reserves each see a deeper deficit, so the returned waits space the
+    posts exactly one serialization time apart at the controller's rate.
+    """
+
+    __slots__ = ("sim", "controller", "planes", "burst_bytes", "_tokens", "_last")
+
+    def __init__(
+        self,
+        sim: Simulator,
+        controller: RateController,
+        *,
+        planes: int = 1,
+        burst_bytes: int = 16 * KiB,
+    ):
+        if planes < 1:
+            raise ConfigError(f"need >= 1 plane, got {planes}")
+        if burst_bytes <= 0:
+            raise ConfigError(f"burst must be > 0, got {burst_bytes}")
+        self.sim = sim
+        self.controller = controller
+        self.planes = planes
+        self.burst_bytes = burst_bytes
+        # Per-plane buckets start full; refill is lazy at reserve time.
+        self._tokens = [float(burst_bytes)] * planes
+        self._last = [0.0] * planes
+
+    @property
+    def rate_bps(self) -> float | None:
+        return self.controller.rate_bps
+
+    def _plane_rate(self, rate_bps: float) -> float:
+        """Bytes/s budget of one plane's bucket."""
+        return rate_bps / 8.0 / self.planes
+
+    def reserve(self, nbytes: int, plane: int = 0) -> float:
+        """Charge ``nbytes`` to ``plane``'s bucket; seconds to wait.
+
+        A ``None`` controller rate bypasses the buckets entirely (the
+        null-controller fast path -- no state touched, no wait).
+        """
+        rate_bps = self.controller.rate_bps
+        if rate_bps is None:
+            return 0.0
+        rate = self._plane_rate(rate_bps)
+        now = self.sim.now
+        tokens = min(
+            float(self.burst_bytes),
+            self._tokens[plane] + (now - self._last[plane]) * rate,
+        )
+        tokens -= nbytes
+        self._tokens[plane] = tokens
+        self._last[plane] = now
+        if tokens >= 0.0:
+            return 0.0
+        return -tokens / rate
+
+    def backlog_seconds(self, plane: int) -> float:
+        """Seconds of pacing deficit currently queued on ``plane``'s bucket."""
+        rate_bps = self.controller.rate_bps
+        if rate_bps is None:
+            return 0.0
+        rate = self._plane_rate(rate_bps)
+        tokens = min(
+            float(self.burst_bytes),
+            self._tokens[plane] + (self.sim.now - self._last[plane]) * rate,
+        )
+        return max(0.0, -tokens) / rate
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        rate = self.controller.rate_bps
+        shown = "unpaced" if rate is None else f"{rate / 1e9:g} Gbit/s"
+        return f"TokenBucketGroup({self.planes} planes, {shown})"
 
 
 class Pacer:
@@ -40,19 +140,26 @@ class Pacer:
         name: str = "cc",
         planes: int = 1,
         burst_bytes: int = 16 * KiB,
+        buckets: TokenBucketGroup | None = None,
     ):
-        if planes < 1:
-            raise ConfigError(f"need >= 1 plane, got {planes}")
-        if burst_bytes <= 0:
-            raise ConfigError(f"burst must be > 0, got {burst_bytes}")
+        if buckets is None:
+            buckets = TokenBucketGroup(
+                sim, controller, planes=planes, burst_bytes=burst_bytes
+            )
+        elif buckets.controller is not controller:
+            raise ConfigError(
+                "a pacer sharing a TokenBucketGroup must share its "
+                "controller: one cc state per link"
+            )
         self.sim = sim
         self.controller = controller
         self.name = name
-        self.planes = planes
-        self.burst_bytes = burst_bytes
-        # Per-plane buckets start full; refill is lazy at reserve time.
-        self._tokens = [float(burst_bytes)] * planes
-        self._last = [0.0] * planes
+        self.buckets = buckets
+        self.planes = buckets.planes
+        self.burst_bytes = buckets.burst_bytes
+        #: Explicit flow -> plane pins (see :meth:`bind_flow`); flows not
+        #: listed fall back to ``flow % planes``.
+        self._flow_planes: dict[int, int] = {}
         scope = sim.telemetry.metrics.scope(f"cc.{name}")
         self._m_paced = scope.counter("paced_packets")
         self._m_stalls = scope.counter("pacing_stalls")
@@ -71,6 +178,25 @@ class Pacer:
 
     # -- actuation ---------------------------------------------------------------
 
+    def bind_flow(self, flow: int, plane: int) -> None:
+        """Pin ``flow``'s reserves to an explicit plane bucket.
+
+        Without a binding, ``reserve`` maps ``flow % planes`` -- correct
+        for flow-hash spraying, where the plane *is* the QPN residue, but
+        wrong for any other flow-to-plane assignment.  Multiplexing
+        layers that place flows on planes explicitly must register the
+        placement here so flows sharing a plane share its bucket.
+        """
+        if not 0 <= plane < self.planes:
+            raise ConfigError(
+                f"plane must be in [0, {self.planes}), got {plane}"
+            )
+        self._flow_planes[flow] = plane
+
+    def plane_of(self, flow: int) -> int:
+        """The bucket ``flow`` draws from (bound plane or hash fallback)."""
+        return self._flow_planes.get(flow, flow % self.planes)
+
     def reserve(self, nbytes: int, *, flow: int = 0) -> float:
         """Charge ``nbytes`` to ``flow``'s bucket; seconds to wait before posting.
 
@@ -80,23 +206,11 @@ class Pacer:
         A ``None`` controller rate bypasses the buckets entirely (the
         null-controller fast path -- no state touched, no wait).
         """
-        rate_bps = self.controller.rate_bps
-        if rate_bps is None:
+        if self.controller.rate_bps is None:
             return 0.0
-        plane = flow % self.planes
-        rate = rate_bps / 8.0 / self.planes  # bytes/s budget of this bucket
-        now = self.sim.now
-        tokens = min(
-            float(self.burst_bytes),
-            self._tokens[plane] + (now - self._last[plane]) * rate,
-        )
-        tokens -= nbytes
-        self._tokens[plane] = tokens
-        self._last[plane] = now
+        wait = self.buckets.reserve(nbytes, self.plane_of(flow))
         self._m_paced.inc()
-        if tokens >= 0.0:
-            return 0.0
-        return -tokens / rate
+        return wait
 
     def note_stall(self, seconds: float) -> None:
         """Record one pacing stall (called by the injector before sleeping)."""
@@ -110,16 +224,7 @@ class Pacer:
         seen; :class:`~repro.recovery.PlaneRecovery` subtracts it from the
         observed queue delay so pacing is not mistaken for plane sickness.
         """
-        rate_bps = self.controller.rate_bps
-        if rate_bps is None:
-            return 0.0
-        rate = rate_bps / 8.0 / self.planes
-        tokens = min(
-            float(self.burst_bytes),
-            self._tokens[plane]
-            + (self.sim.now - self._last[plane]) * rate,
-        )
-        return max(0.0, -tokens) / rate
+        return self.buckets.backlog_seconds(plane)
 
     # -- signal ingress ----------------------------------------------------------
 

@@ -14,6 +14,9 @@ Commands:
   a per-message completion-time attribution table.
 * ``explain``     -- replay a JSONL trace into per-message timelines with
   completion-time blame (see :mod:`repro.telemetry.lineage`).
+* ``fabric``      -- run a multi-tenant fairness/isolation or open-loop
+  scale experiment on the ``repro.fabric`` RDMA-as-a-service layer and
+  report per-tenant goodput and completion-time tails.
 * ``experiments`` -- regenerate paper figures (delegates to
   :mod:`repro.experiments.__main__`).
 """
@@ -396,6 +399,173 @@ def cmd_explain(args) -> int:
     return 0
 
 
+def _fabric_json(path: str, payload: dict) -> None:
+    import json
+    import os
+
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"JSON written to {path}")
+
+
+def _tenant_rows(reports) -> list[dict]:
+    return [
+        {
+            "tenant": r.name,
+            "compliant": r.compliant,
+            "flows_submitted": r.flows_submitted,
+            "flows_completed": r.flows_completed,
+            "flows_failed": r.flows_failed,
+            "retransmits": r.retransmits,
+            "goodput_bps": r.goodput_bps,
+            "p50_s": r.p50_s,
+            "p99_s": r.p99_s,
+        }
+        for r in reports
+    ]
+
+
+def cmd_fabric(args) -> int:
+    import dataclasses
+
+    from repro.fabric import (
+        FairnessConfig,
+        ScaleConfig,
+        fairness_scenario,
+        lineage_tenant_table,
+        scale_scenario,
+        smoke_config,
+        tenant_table,
+    )
+    from repro.telemetry import RingBufferSink, Telemetry
+
+    telemetry = None
+    ring = None
+    if args.lineage:
+        if args.preset == "scale":
+            raise ConfigError("--lineage traces are too large at scale")
+        ring = RingBufferSink(capacity=1 << 20)
+        telemetry = Telemetry(trace=True, trace_sinks=[ring])
+
+    if args.preset == "scale":
+        config = ScaleConfig(
+            tenants=args.tenants,
+            duration=args.duration,
+            offered_load_bps=args.offered_gbps * 1e9,
+            cc=args.cc,
+            seed=args.seed,
+        )
+        result = scale_scenario(config, telemetry=telemetry)
+        summary = Table(
+            title=(
+                f"Fabric scale: {config.tenants} tenants, "
+                f"{result.messages} messages, cc={config.cc}, seed={config.seed}"
+            ),
+            columns=["messages", "completed", "failed", "total_gib",
+                     "drained_ms", "digest"],
+        )
+        summary.add_row(
+            result.messages, result.completed, result.failed,
+            round(result.total_bytes / (1 << 30), 3),
+            round(result.drained_at * 1e3, 3), result.digest[:16],
+        )
+        print(summary.render())
+        print()
+        print(
+            tenant_table(
+                result.reports, title="Slowest tenants", limit=args.worst
+            ).render()
+        )
+        if args.json:
+            _fabric_json(args.json, {
+                "preset": "scale",
+                "seed": config.seed,
+                "cc": config.cc,
+                "tenants": config.tenants,
+                "messages": result.messages,
+                "completed": result.completed,
+                "failed": result.failed,
+                "drained_s": result.drained_at,
+                "digest": result.digest,
+            })
+        if result.completed + result.failed < result.messages:
+            print("error: fabric did not drain", file=sys.stderr)
+            return 1
+        return 0
+
+    if args.preset == "smoke":
+        config = smoke_config(seed=args.seed, cc=args.cc)
+    else:
+        config = FairnessConfig(
+            victims=args.victims, duration=args.duration,
+            seed=args.seed, cc=args.cc,
+        )
+    config = dataclasses.replace(
+        config,
+        enforce_quotas=not args.no_enforce,
+        rogue=not args.no_rogue,
+    )
+    result = fairness_scenario(config, telemetry=telemetry)
+    summary = Table(
+        title=(
+            f"Fabric fairness ({args.preset}): {config.victims} victim(s)"
+            f"{' + rogue' if config.rogue else ''}, cc={config.cc}, "
+            f"seed={config.seed}, quotas "
+            f"{'enforced' if config.enforce_quotas else 'OFF'}"
+        ),
+        columns=["solo_gbps", "contended_gbps", "retention", "jain", "digest"],
+        notes="retention = victim t0's contended / solo goodput",
+    )
+    summary.add_row(
+        round(result.solo_goodput_bps / 1e9, 3),
+        round(result.contended_goodput_bps / 1e9, 3),
+        round(result.retention, 4),
+        round(result.jain, 4),
+        result.digest[:16],
+    )
+    print(summary.render())
+    print()
+    print(tenant_table(result.reports).render())
+    if ring is not None:
+        from repro.telemetry.lineage import LineageAnalyzer
+
+        print()
+        print(
+            lineage_tenant_table(
+                LineageAnalyzer.from_events(ring.events)
+            ).render()
+        )
+    if args.json:
+        _fabric_json(args.json, {
+            "preset": args.preset,
+            "seed": config.seed,
+            "cc": config.cc,
+            "enforce_quotas": config.enforce_quotas,
+            "rogue": config.rogue,
+            "solo_goodput_bps": result.solo_goodput_bps,
+            "contended_goodput_bps": result.contended_goodput_bps,
+            "retention": result.retention,
+            "jain": result.jain,
+            "digest": result.digest,
+            "tenants": _tenant_rows(result.reports),
+        })
+    if (
+        args.min_victim_fraction is not None
+        and result.retention < args.min_victim_fraction
+    ):
+        print(
+            f"error: victim retained {result.retention:.3f} of solo "
+            f"goodput, below required {args.min_victim_fraction:g}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def cmd_experiments(args) -> int:
     from repro.experiments.__main__ import main as experiments_main
 
@@ -519,6 +689,62 @@ def build_parser() -> argparse.ArgumentParser:
         "--worst", type=int, default=5, help="stragglers to list"
     )
     explain.set_defaults(fn=cmd_explain)
+
+    fabric = sub.add_parser(
+        "fabric",
+        help="multi-tenant fairness / scale experiment on repro.fabric",
+    )
+    fabric.add_argument(
+        "--preset", choices=("smoke", "fairness", "scale"), default="smoke",
+        help="smoke = tiny CI dumbbell; fairness = full dumbbell; "
+             "scale = two-tier open-loop run",
+    )
+    fabric.add_argument("--seed", type=int, default=0)
+    fabric.add_argument(
+        "--cc", choices=CC_ALGORITHMS, default="swift",
+        help="per-pair congestion-control algorithm",
+    )
+    fabric.add_argument(
+        "--victims", type=int, default=2,
+        help="well-behaved tenants (fairness preset)",
+    )
+    fabric.add_argument(
+        "--tenants", type=int, default=1000,
+        help="tenant count (scale preset)",
+    )
+    fabric.add_argument(
+        "--duration", type=float, default=0.05,
+        help="arrival window in seconds (fairness/scale presets)",
+    )
+    fabric.add_argument(
+        "--offered-gbps", type=float, default=280.0,
+        help="aggregate offered load (scale preset)",
+    )
+    fabric.add_argument(
+        "--no-enforce", action="store_true",
+        help="disable per-tenant quota enforcement (shows the collapse)",
+    )
+    fabric.add_argument(
+        "--no-rogue", action="store_true",
+        help="drop the misbehaving tenant from the contended run",
+    )
+    fabric.add_argument(
+        "--lineage", action="store_true",
+        help="trace the run and print per-tenant lineage attribution",
+    )
+    fabric.add_argument(
+        "--worst", type=int, default=10,
+        help="tenants to list in the scale report (slowest first)",
+    )
+    fabric.add_argument(
+        "--min-victim-fraction", type=float, default=None, metavar="F",
+        help="exit non-zero if the victim retains less than F of its "
+             "solo goodput (CI gate)",
+    )
+    fabric.add_argument(
+        "--json", metavar="PATH", help="dump the result as JSON"
+    )
+    fabric.set_defaults(fn=cmd_fabric)
 
     experiments = sub.add_parser("experiments", help="regenerate paper figures")
     experiments.add_argument("figures", nargs="*", help="e.g. fig09 fig13")

@@ -1,0 +1,72 @@
+"""``repro.fabric``: multi-tenant RDMA-as-a-service on a topology graph.
+
+The rest of the repo studies one reliable connection in depth; this
+package studies many tenants sharing a fabric in breadth.  It has three
+layers:
+
+* :mod:`repro.fabric.topology` -- the graph (hosts, ToR switches, WAN
+  links), one profiled :class:`~repro.net.channel.Channel` per directed
+  edge, deterministic shortest-path routing, store-and-forward relay.
+* :mod:`repro.fabric.service` -- the provider: tenant quotas, bounded
+  per-pair QP pools, per-pair congestion control, segment-level
+  reliability (RTO + bounded retransmission).
+* :mod:`repro.fabric.scenarios` / :mod:`repro.fabric.report` -- canned
+  fairness and scale experiments plus per-tenant reporting, surfaced as
+  the ``repro fabric`` CLI subcommand and the fabric benchmarks.
+"""
+
+from repro.fabric.report import (
+    TenantReport,
+    jain_index,
+    lineage_tenant_table,
+    metrics_digest,
+    per_tenant_reports,
+    tenant_table,
+)
+from repro.fabric.scenarios import (
+    FairnessConfig,
+    FairnessResult,
+    ScaleConfig,
+    ScaleResult,
+    fairness_scenario,
+    scale_scenario,
+    smoke_config,
+    submit_schedule,
+)
+from repro.fabric.service import (
+    FabricService,
+    FabricServiceConfig,
+    FlowTicket,
+    TenantSpec,
+)
+from repro.fabric.topology import (
+    FabricNetwork,
+    FabricTopology,
+    dumbbell,
+    two_tier,
+)
+
+__all__ = [
+    "FabricNetwork",
+    "FabricService",
+    "FabricServiceConfig",
+    "FabricTopology",
+    "FairnessConfig",
+    "FairnessResult",
+    "FlowTicket",
+    "ScaleConfig",
+    "ScaleResult",
+    "TenantReport",
+    "TenantSpec",
+    "dumbbell",
+    "fairness_scenario",
+    "jain_index",
+    "lineage_tenant_table",
+    "metrics_digest",
+    "per_tenant_reports",
+    "scale_scenario",
+    "smoke_config",
+    "submit_schedule",
+    "tenant_table",
+    "two_tier",
+]

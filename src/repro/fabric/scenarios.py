@@ -1,0 +1,412 @@
+"""Canned fabric experiments: fairness/isolation and open-loop scale.
+
+Two reusable harnesses back the CLI, the benchmarks and CI:
+
+* :func:`fairness_scenario` -- the isolation experiment.  Well-behaved
+  ("victim") tenants and one misbehaving ("rogue") tenant share a
+  dumbbell bottleneck.  The victim's goodput is measured twice: solo
+  (its own schedule, empty fabric) and contended (everyone present).
+  The ratio -- *retention* -- is the isolation metric: with per-tenant
+  quota enforcement a rogue blasting at twice the bottleneck rate must
+  not push retention below ~1; with enforcement off the same run shows
+  the collapse the quotas exist to prevent.
+* :func:`scale_scenario` -- the open-loop scale experiment: thousands of
+  tenants with heavy-tailed arrivals on a two-tier WAN topology, used to
+  demonstrate that a run of >= 100k messages completes and that the
+  ``fabric.*`` metrics snapshot is a pure function of the seed.
+
+Both build everything (topology, channels, workload, service) from a
+frozen config + seed, so two calls with equal arguments produce
+byte-identical metric snapshots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.common.config import ChannelConfig
+from repro.common.errors import ConfigError
+from repro.common.units import KiB, MiB
+from repro.fabric.report import (
+    TenantReport,
+    jain_index,
+    metrics_digest,
+    per_tenant_reports,
+)
+from repro.fabric.service import FabricService, FabricServiceConfig, TenantSpec
+from repro.fabric.topology import FabricNetwork, dumbbell, two_tier
+from repro.sim.engine import Simulator
+from repro.telemetry import Telemetry
+from repro.workloads.openloop import OpenLoopConfig, Workload, generate
+
+
+@dataclass(frozen=True)
+class FairnessConfig:
+    """One fairness/isolation experiment (see module docstring)."""
+
+    #: Well-behaved tenants, one per left-side host.
+    victims: int = 2
+    #: Whether the misbehaving tenant participates in the contended run.
+    rogue: bool = True
+    #: Whether the service enforces per-tenant quota buckets.
+    enforce_quotas: bool = True
+    cc: str = "swift"
+    #: Arrival window in seconds (goodput window for both runs).
+    duration: float = 0.05
+    seed: int = 0
+    bottleneck_bps: float = 10e9
+    host_bps: float = 25e9
+    bottleneck_km: float = 100.0
+    host_km: float = 0.05
+    buffer_bytes: int = 256 * KiB
+    ecn_threshold_bytes: int = 64 * KiB
+    #: Victims' aggregate offered load as a fraction of the bottleneck.
+    victim_load_fraction: float = 0.5
+    #: Rogue's offered load as a fraction of the bottleneck (> 1 = abuse).
+    rogue_load_fraction: float = 2.0
+    #: Rogue's enforced quota as a fraction of the bottleneck.
+    rogue_quota_fraction: float = 0.3
+    mean_message_bytes: int = 64 * KiB
+    max_message_bytes: int = 1 * MiB
+    rogue_message_bytes: int = 256 * KiB
+    service: FabricServiceConfig | None = None
+
+    def __post_init__(self) -> None:
+        if self.victims < 1:
+            raise ConfigError(f"need >= 1 victim, got {self.victims}")
+        if self.duration <= 0:
+            raise ConfigError(f"duration must be > 0, got {self.duration}")
+        if not 0 < self.victim_load_fraction < 1:
+            raise ConfigError(
+                "victim load must leave bottleneck headroom, got "
+                f"{self.victim_load_fraction}"
+            )
+        if self.rogue_load_fraction <= 0:
+            raise ConfigError(
+                f"rogue load must be > 0, got {self.rogue_load_fraction}"
+            )
+        if not 0 < self.rogue_quota_fraction < 1:
+            raise ConfigError(
+                f"rogue quota fraction must be in (0, 1), got "
+                f"{self.rogue_quota_fraction}"
+            )
+
+
+@dataclass
+class FairnessResult:
+    """Solo vs contended goodput of the first victim, plus full reports."""
+
+    config: FairnessConfig
+    #: Victim t0's goodput alone on the fabric (bits/second).
+    solo_goodput_bps: float
+    #: Victim t0's goodput with all tenants present.
+    contended_goodput_bps: float
+    #: Jain's index across the victims' contended goodputs.
+    jain: float
+    #: Per-tenant reports of the contended run (victims + rogue).
+    reports: list[TenantReport] = field(default_factory=list)
+    #: ``fabric.*`` metrics digest of the contended run.
+    digest: str = ""
+
+    @property
+    def retention(self) -> float:
+        """Fraction of solo goodput the victim kept under contention."""
+        if self.solo_goodput_bps <= 0:
+            return 0.0
+        return self.contended_goodput_bps / self.solo_goodput_bps
+
+
+def _rogue_workload(config: FairnessConfig) -> Workload:
+    """The rogue's open-loop schedule: fixed-size messages, fixed cadence.
+
+    Deterministic by construction (no RNG): the abuse pattern should not
+    change shape with the seed, only the victims' traffic does.
+    """
+    size = config.rogue_message_bytes
+    offered = config.rogue_load_fraction * config.bottleneck_bps
+    interval = size * 8.0 / offered
+    times = np.arange(0.0, config.duration, interval)
+    wl_config = OpenLoopConfig(
+        tenants=1,
+        duration=config.duration,
+        offered_load_bps=offered,
+        size_dist="fixed",
+        mean_message_bytes=size,
+        max_message_bytes=size,
+        min_message_bytes=size,
+    )
+    return Workload(
+        config=wl_config,
+        times=times,
+        tenants=np.zeros(len(times), dtype=np.int32),
+        sizes=np.full(len(times), size, dtype=np.int64),
+        tenant_rates_bps=np.array([offered]),
+    )
+
+
+def submit_schedule(
+    service: FabricService,
+    workload: Workload,
+    names: list[str],
+    placement: dict[int, tuple[str, str]],
+) -> None:
+    """Feed one open-loop schedule into a service (open loop: submit at
+    the workload's arrival times regardless of fabric state)."""
+    for i in range(len(workload)):
+        tenant = int(workload.tenants[i])
+        src, dst = placement[tenant]
+        service.submit(
+            names[tenant],
+            src,
+            dst,
+            int(workload.sizes[i]),
+            at=float(workload.times[i]),
+        )
+
+
+def _fairness_fabric(
+    config: FairnessConfig, *, telemetry: Telemetry | None = None
+) -> tuple[Simulator, FabricService]:
+    """Build the dumbbell and service (identical for solo and contended)."""
+    left = config.victims + (1 if config.rogue else 0)
+    host_link = ChannelConfig(
+        bandwidth_bps=config.host_bps,
+        distance_km=config.host_km,
+    )
+    bottleneck = ChannelConfig(
+        bandwidth_bps=config.bottleneck_bps,
+        distance_km=config.bottleneck_km,
+        buffer_bytes=config.buffer_bytes,
+        ecn_threshold_bytes=config.ecn_threshold_bytes,
+    )
+    topo = dumbbell(
+        left_hosts=left, right_hosts=1, host_link=host_link,
+        bottleneck=bottleneck,
+    )
+    sim = Simulator(telemetry=telemetry)
+    network = FabricNetwork(sim, topo, seed=config.seed)
+    service_config = (
+        config.service
+        if config.service is not None
+        else FabricServiceConfig(cc=config.cc)
+    )
+    service_config = replace(
+        service_config, cc=config.cc, enforce_quotas=config.enforce_quotas
+    )
+    service = FabricService(network, config=service_config)
+    return sim, service
+
+
+def _victim_specs(config: FairnessConfig) -> list[TenantSpec]:
+    # Victims get an equal share of the bottleneck as quota -- generous
+    # (their offered load is below it) but present, so enforcement treats
+    # everyone through the same mechanism.
+    quota = config.bottleneck_bps / max(config.victims, 1)
+    return [
+        TenantSpec(name=f"t{i}", quota_bps=quota, compliant=True)
+        for i in range(config.victims)
+    ]
+
+
+def fairness_scenario(
+    config: FairnessConfig | None = None,
+    *,
+    telemetry: Telemetry | None = None,
+) -> FairnessResult:
+    """Run solo baseline + contended fairness experiment; see module doc."""
+    config = config if config is not None else FairnessConfig()
+    victims_wl = generate(
+        OpenLoopConfig(
+            tenants=config.victims,
+            duration=config.duration,
+            offered_load_bps=config.victim_load_fraction * config.bottleneck_bps,
+            mean_message_bytes=config.mean_message_bytes,
+            max_message_bytes=config.max_message_bytes,
+        ),
+        seed=config.seed,
+    )
+    specs = _victim_specs(config)
+    names = [s.name for s in specs]
+    placement = {i: (f"hL{i}", "hR0") for i in range(config.victims)}
+
+    # Solo baseline: victim t0's sub-schedule, otherwise empty fabric.
+    sim, service = _fairness_fabric(config)
+    service.add_tenant(specs[0])
+    submit_schedule(service, victims_wl.for_tenant(0), names, placement)
+    sim.run()
+    solo = {
+        r.name: r for r in per_tenant_reports(service, config.duration)
+    }[names[0]].goodput_bps
+
+    # Contended run: all victims plus (optionally) the rogue.
+    sim, service = _fairness_fabric(config, telemetry=telemetry)
+    for spec in specs:
+        service.add_tenant(spec)
+    submit_schedule(service, victims_wl, names, placement)
+    if config.rogue:
+        rogue_spec = TenantSpec(
+            name="rogue",
+            quota_bps=config.rogue_quota_fraction * config.bottleneck_bps,
+            compliant=False,
+        )
+        service.add_tenant(rogue_spec)
+        submit_schedule(
+            service,
+            _rogue_workload(config),
+            ["rogue"],
+            {0: (f"hL{config.victims}", "hR0")},
+        )
+    sim.run()
+
+    reports = per_tenant_reports(service, config.duration)
+    by_name = {r.name: r for r in reports}
+    victim_goodputs = [by_name[n].goodput_bps for n in names]
+    return FairnessResult(
+        config=config,
+        solo_goodput_bps=solo,
+        contended_goodput_bps=by_name[names[0]].goodput_bps,
+        jain=jain_index(victim_goodputs),
+        reports=reports,
+        digest=metrics_digest(sim.telemetry.metrics),
+    )
+
+
+def smoke_config(*, seed: int = 0, cc: str = "swift") -> FairnessConfig:
+    """The CI preset: 3 hosts (victim, rogue, receiver), 2 tenants.
+
+    Small enough for a seconds-scale CI job, adversarial enough that the
+    >= 50% retention assertion would fail without quota enforcement.
+    """
+    return FairnessConfig(
+        victims=1,
+        rogue=True,
+        duration=0.02,
+        seed=seed,
+        cc=cc,
+        mean_message_bytes=32 * KiB,
+        max_message_bytes=256 * KiB,
+    )
+
+
+@dataclass(frozen=True)
+class ScaleConfig:
+    """Open-loop scale run on the two-tier WAN topology."""
+
+    tenants: int = 1000
+    duration: float = 0.05
+    #: Aggregate offered load; the default yields >= 100k messages.
+    offered_load_bps: float = 280e9
+    tors: int = 4
+    hosts_per_tor: int = 4
+    cc: str = "swift"
+    seed: int = 0
+    host_bps: float = 25e9
+    wan_bps: float = 100e9
+    host_km: float = 0.05
+    wan_km: float = 200.0
+    mean_message_bytes: int = 16 * KiB
+    max_message_bytes: int = 512 * KiB
+    #: Pareto tail of per-tenant rate weights (elephants and mice).
+    rate_skew: float = 1.8
+    #: Per-tenant quota as a multiple of the tenant's fair share.
+    quota_headroom: float = 8.0
+
+    def __post_init__(self) -> None:
+        if self.tenants < 1:
+            raise ConfigError(f"need >= 1 tenant, got {self.tenants}")
+        if self.tors * self.hosts_per_tor < 2:
+            raise ConfigError("scale topology needs >= 2 hosts")
+        if self.quota_headroom <= 0:
+            raise ConfigError(
+                f"quota headroom must be > 0, got {self.quota_headroom}"
+            )
+
+
+@dataclass
+class ScaleResult:
+    """Outcome of one scale run."""
+
+    config: ScaleConfig
+    messages: int
+    completed: int
+    failed: int
+    total_bytes: int
+    #: Simulated time when the last flow resolved.
+    drained_at: float
+    #: ``fabric.*`` metrics digest (same seed => same digest).
+    digest: str
+    reports: list[TenantReport] = field(default_factory=list)
+
+
+def scale_scenario(
+    config: ScaleConfig | None = None,
+    *,
+    telemetry: Telemetry | None = None,
+) -> ScaleResult:
+    """Run the open-loop scale experiment; see module docstring."""
+    config = config if config is not None else ScaleConfig()
+    topo = two_tier(
+        tors=config.tors,
+        hosts_per_tor=config.hosts_per_tor,
+        host_link=ChannelConfig(
+            bandwidth_bps=config.host_bps, distance_km=config.host_km
+        ),
+        wan_link=ChannelConfig(
+            bandwidth_bps=config.wan_bps,
+            distance_km=config.wan_km,
+            buffer_bytes=4 * MiB,
+            ecn_threshold_bytes=1 * MiB,
+        ),
+    )
+    sim = Simulator(telemetry=telemetry)
+    network = FabricNetwork(sim, topo, seed=config.seed)
+    service = FabricService(
+        network, config=FabricServiceConfig(cc=config.cc, max_flows_per_qp=256)
+    )
+
+    workload = generate(
+        OpenLoopConfig(
+            tenants=config.tenants,
+            duration=config.duration,
+            offered_load_bps=config.offered_load_bps,
+            mean_message_bytes=config.mean_message_bytes,
+            max_message_bytes=config.max_message_bytes,
+            rate_skew=config.rate_skew,
+        ),
+        seed=config.seed,
+    )
+    hosts = topo.hosts
+    names = []
+    placement = {}
+    fair_share = config.offered_load_bps / config.tenants
+    for t in range(config.tenants):
+        name = f"t{t}"
+        names.append(name)
+        service.add_tenant(
+            TenantSpec(
+                name=name, quota_bps=config.quota_headroom * fair_share
+            )
+        )
+        # Deterministic spread: tenants cycle source hosts; destinations
+        # sit half the host list away, so most pairs cross the WAN core.
+        src = hosts[t % len(hosts)]
+        dst = hosts[(t + len(hosts) // 2) % len(hosts)]
+        if src == dst:
+            dst = hosts[(t + 1) % len(hosts)]
+        placement[t] = (src, dst)
+    submit_schedule(service, workload, names, placement)
+    sim.run()
+
+    failed = sum(1 for t in service.flows if t.failed)
+    return ScaleResult(
+        config=config,
+        messages=len(service.flows),
+        completed=service.completed_flows,
+        failed=failed,
+        total_bytes=workload.total_bytes,
+        drained_at=sim.now,
+        digest=metrics_digest(sim.telemetry.metrics),
+        reports=per_tenant_reports(service, config.duration),
+    )

@@ -1,0 +1,526 @@
+"""RDMA-as-a-service: tenant admission, QP multiplexing, reliable flows.
+
+RDMAvisor's observation (PAPERS.md) is that per-tenant QPs do not scale:
+thousands of tenants times thousands of peers would mean millions of
+connections, each with its own congestion state.  A fabric provider
+therefore multiplexes tenant *flows* onto a bounded pool of fabric QPs
+per host pair and enforces isolation at admission time.  This module is
+that provider:
+
+* :class:`FabricService` owns the tenant directory, the per-pair
+  :class:`FabricQp` pools and the reliability machinery (segment RTO,
+  bounded retransmission, duplicate suppression).
+* Admission is three stacked token buckets, all sharing the
+  :class:`~repro.cc.pacer.TokenBucketGroup` math:
+
+  1. **tenant quota** -- the provider-assigned rate cap.  A misbehaving
+     tenant can ignore congestion control, but it cannot bypass its
+     bucket (that is what makes this a *service* rather than a shared
+     cable).  Gated by ``enforce_quotas`` so benchmarks can measure what
+     the bucket buys.
+  2. **per-pair congestion control** -- one
+     :class:`~repro.cc.controller.RateController` +
+     :class:`~repro.cc.pacer.Pacer` per (src, dst) host pair, shared by
+     every compliant flow multiplexed on the pair's QPs, fed by the ACK
+     path's RTT samples and ECN echoes.
+  3. **uplink line rate** -- one shared per-host-egress
+     :class:`TokenBucketGroup` that all pairs and tenants draw from, so
+     the host cannot offer more than its NIC serializes (the per-link
+     shared bucket that multiplexed QPs must not each assume they own).
+
+Loss is handled at segment granularity: each segment arms an RTO
+(exponential backoff, bounded attempts); ACKs return after the reverse
+path's propagation delay and carry the accumulated ECN CE mark.  All
+state advances on simulator events only -- same seed, same run.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.cc.controller import CC_ALGORITHMS, StaticRateController, make_controller
+from repro.cc.pacer import Pacer, TokenBucketGroup
+from repro.common.errors import ConfigError
+from repro.common.units import KiB
+from repro.fabric.topology import FabricNetwork
+from repro.net.packet import Opcode, Packet
+from repro.sim.engine import Event, Simulator
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant's service contract."""
+
+    name: str
+    #: Provider-assigned rate cap in bits/second; ``None`` = uncapped.
+    quota_bps: float | None = None
+    #: Burst depth of the tenant's quota bucket.
+    burst_bytes: int = 64 * KiB
+    #: Compliant tenants pace through the pair's congestion controller;
+    #: a non-compliant ("misbehaving") tenant ignores it and injects at
+    #: whatever rate its quota bucket (if enforced) lets through.
+    compliant: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("tenant name must be non-empty")
+        if self.quota_bps is not None and self.quota_bps <= 0:
+            raise ConfigError(f"quota must be > 0, got {self.quota_bps}")
+        if self.burst_bytes <= 0:
+            raise ConfigError(f"burst must be > 0, got {self.burst_bytes}")
+
+
+@dataclass(frozen=True)
+class FabricServiceConfig:
+    """Service-level knobs (the provider's side of the contract)."""
+
+    cc: str = "swift"
+    #: Fabric QPs per (src, dst) host pair.
+    qp_pool_per_pair: int = 2
+    #: Concurrent flows one fabric QP multiplexes before admission queues.
+    max_flows_per_qp: int = 64
+    #: Flow segmentation: one wire packet per segment.
+    segment_bytes: int = 32 * KiB
+    #: Whether tenant quota buckets are enforced at admission.
+    enforce_quotas: bool = True
+    #: Segment RTO as a multiple of the pair's base RTT (plus one segment
+    #: serialization per hop); doubled per attempt.
+    rto_rtts: float = 8.0
+    #: Attempts per segment before the whole flow fails.
+    max_attempts: int = 8
+    #: Burst depth of the shared per-uplink line-rate bucket.
+    uplink_burst_bytes: int = 128 * KiB
+
+    def __post_init__(self) -> None:
+        if self.cc not in CC_ALGORITHMS:
+            raise ConfigError(f"cc must be one of {CC_ALGORITHMS}, got {self.cc!r}")
+        if self.qp_pool_per_pair < 1:
+            raise ConfigError(
+                f"need >= 1 QP per pair, got {self.qp_pool_per_pair}"
+            )
+        if self.max_flows_per_qp < 1:
+            raise ConfigError(
+                f"need >= 1 flow per QP, got {self.max_flows_per_qp}"
+            )
+        if self.segment_bytes <= 0:
+            raise ConfigError(f"segment must be > 0, got {self.segment_bytes}")
+        if self.rto_rtts <= 0:
+            raise ConfigError(f"rto_rtts must be > 0, got {self.rto_rtts}")
+        if self.max_attempts < 1:
+            raise ConfigError(f"need >= 1 attempt, got {self.max_attempts}")
+        if self.uplink_burst_bytes <= 0:
+            raise ConfigError(
+                f"uplink burst must be > 0, got {self.uplink_burst_bytes}"
+            )
+
+
+@dataclass
+class FlowTicket:
+    """One tenant message moving through the fabric."""
+
+    seq: int
+    tenant: str
+    src: str
+    dst: str
+    nbytes: int
+    submitted: float
+    started: float | None = None
+    completed: float | None = None
+    failed: bool = False
+    retransmits: int = 0
+    done: Event | None = None
+
+    @property
+    def span(self) -> float | None:
+        """Submit-to-last-ACK completion time (the tenant-visible metric)."""
+        if self.completed is None:
+            return None
+        return self.completed - self.submitted
+
+
+@dataclass
+class TenantState:
+    """Runtime state + rollup stats of one registered tenant."""
+
+    spec: TenantSpec
+    bucket: TokenBucketGroup | None
+    flows_submitted: int = 0
+    flows_completed: int = 0
+    flows_failed: int = 0
+    bytes_submitted: int = 0
+    bytes_acked: int = 0
+    retransmits: int = 0
+    #: Simulated time of this tenant's most recent ACKed byte.  Goodput is
+    #: measured over [0, max(window, last_ack)]: a tenant whose traffic is
+    #: delayed past the arrival window by contention sees that delay as
+    #: lost goodput, even though the bytes eventually land.
+    last_ack: float = 0.0
+    completion_times: list[float] = field(default_factory=list)
+
+
+class FabricQp:
+    """One pooled fabric QP: a bounded flow-multiplexing slot set."""
+
+    __slots__ = ("index", "active")
+
+    def __init__(self, index: int):
+        self.index = index
+        self.active = 0
+
+
+class _PairState:
+    """Per (src, dst) host pair: QP pool, cc state, admission queue."""
+
+    __slots__ = ("key", "qps", "waiting", "pacer", "base_rtt", "rto_base")
+
+    def __init__(self, key, qps, pacer, base_rtt, rto_base):
+        self.key = key
+        self.qps = qps
+        self.waiting: deque[Event] = deque()
+        self.pacer = pacer
+        self.base_rtt = base_rtt
+        self.rto_base = rto_base
+
+
+class _FlowState:
+    """Reliability bookkeeping of one in-flight flow."""
+
+    __slots__ = (
+        "ticket", "pair", "qp", "segments", "seg_bytes", "remaining",
+        "acked", "attempt", "uid",
+    )
+
+    def __init__(self, ticket, pair, qp, segments, seg_bytes):
+        self.ticket = ticket
+        self.pair = pair
+        self.qp = qp
+        self.segments = segments
+        self.seg_bytes = seg_bytes
+        self.remaining = segments
+        self.acked = [False] * segments
+        self.attempt = [0] * segments
+        self.uid = [0] * segments
+
+    def seg_size(self, idx: int) -> int:
+        if idx < self.segments - 1:
+            return self.seg_bytes
+        return self.ticket.nbytes - (self.segments - 1) * self.seg_bytes
+
+
+class FabricService:
+    """The multi-tenant fabric provider (see module docstring)."""
+
+    def __init__(
+        self,
+        network: FabricNetwork,
+        *,
+        config: FabricServiceConfig | None = None,
+        name: str = "fabric",
+    ):
+        self.net = network
+        self.sim: Simulator = network.sim
+        self.config = config if config is not None else FabricServiceConfig()
+        self.name = name
+        self.tenants: dict[str, TenantState] = {}
+        self.flows: list[FlowTicket] = []
+        self._pairs: dict[tuple[str, str], _PairState] = {}
+        self._uplinks: dict[str, TokenBucketGroup] = {}
+        self._next_seq = 0
+        scope = self.sim.telemetry.metrics.scope(name)
+        self._m_flows_submitted = scope.counter("flows_submitted")
+        self._m_flows_completed = scope.counter("flows_completed")
+        self._m_flows_failed = scope.counter("flows_failed")
+        self._m_bytes_submitted = scope.counter("bytes_submitted")
+        self._m_bytes_acked = scope.counter("bytes_acked")
+        self._m_segments_sent = scope.counter("segments_sent")
+        self._m_segments_acked = scope.counter("segments_acked")
+        self._m_segments_retx = scope.counter("segments_retransmitted")
+        self._m_dup_acks = scope.counter("duplicate_acks")
+        self._m_ecn_echoes = scope.counter("ecn_echoes")
+        self._m_qp_waits = scope.counter("qp_pool_waits")
+        self._m_qp_wait_seconds = scope.counter("qp_pool_wait_seconds")
+        self._m_admission_stalls = scope.counter("admission_stalls")
+        self._m_admission_stall_seconds = scope.counter("admission_stall_seconds")
+        self._g_qps = scope.gauge("qps_in_use")
+        self._trace = self.sim.telemetry.trace
+
+    # -- registration ----------------------------------------------------------
+
+    def add_tenant(self, spec: TenantSpec) -> TenantState:
+        if spec.name in self.tenants:
+            raise ConfigError(f"tenant {spec.name!r} already registered")
+        bucket = None
+        if spec.quota_bps is not None:
+            bucket = TokenBucketGroup(
+                self.sim,
+                StaticRateController(spec.quota_bps),
+                burst_bytes=spec.burst_bytes,
+            )
+        state = TenantState(spec=spec, bucket=bucket)
+        self.tenants[spec.name] = state
+        return state
+
+    def _uplink(self, host: str) -> TokenBucketGroup:
+        group = self._uplinks.get(host)
+        if group is None:
+            group = TokenBucketGroup(
+                self.sim,
+                StaticRateController(self.net.uplink_bps(host)),
+                burst_bytes=self.config.uplink_burst_bytes,
+            )
+            self._uplinks[host] = group
+        return group
+
+    def _pair(self, src: str, dst: str) -> _PairState:
+        key = (src, dst)
+        pair = self._pairs.get(key)
+        if pair is None:
+            base_rtt = self.net.path_rtt(src, dst)
+            bottleneck = self.net.bottleneck_bps(src, dst)
+            controller = make_controller(
+                self.config.cc, line_rate_bps=bottleneck, base_rtt=base_rtt
+            )
+            pacer = Pacer(
+                self.sim,
+                controller,
+                name=f"{self.name}.{src}->{dst}",
+                burst_bytes=max(self.config.segment_bytes, 16 * KiB),
+            )
+            hops = len(self.net.route(src, dst)) - 1
+            seg_time = self.config.segment_bytes * 8.0 / bottleneck
+            rto_base = self.config.rto_rtts * (base_rtt + hops * seg_time)
+            pair = _PairState(
+                key,
+                [FabricQp(i) for i in range(self.config.qp_pool_per_pair)],
+                pacer,
+                base_rtt,
+                rto_base,
+            )
+            self._pairs[key] = pair
+        return pair
+
+    # -- submission ------------------------------------------------------------
+
+    def submit(
+        self, tenant: str, src: str, dst: str, nbytes: int, *, at: float | None = None
+    ) -> FlowTicket:
+        """Schedule one tenant message; returns its ticket immediately."""
+        state = self.tenants.get(tenant)
+        if state is None:
+            raise ConfigError(f"unknown tenant {tenant!r}")
+        if nbytes <= 0:
+            raise ConfigError(f"flow bytes must be > 0, got {nbytes}")
+        start = self.sim.now if at is None else at
+        if start < self.sim.now:
+            raise ConfigError(f"cannot submit in the past: {start}")
+        ticket = FlowTicket(
+            seq=self._next_seq,
+            tenant=tenant,
+            src=src,
+            dst=dst,
+            nbytes=nbytes,
+            submitted=start,
+            done=self.sim.event(),
+        )
+        self._next_seq += 1
+        self.flows.append(ticket)
+        state.flows_submitted += 1
+        state.bytes_submitted += nbytes
+        self._m_flows_submitted.inc()
+        self._m_bytes_submitted.inc(nbytes)
+        self.sim.call_at(start, lambda: self.sim.process(self._run_flow(ticket)))
+        return ticket
+
+    # -- flow lifecycle --------------------------------------------------------
+
+    def _run_flow(self, ticket: FlowTicket):
+        tenant = self.tenants[ticket.tenant]
+        pair = self._pair(ticket.src, ticket.dst)
+        if self._trace.enabled:
+            self._trace.instant(
+                "msg_post", cat="fabric", track=f"{self.name}.{ticket.src}",
+                msg=ticket.seq, bytes=ticket.nbytes, tenant=ticket.tenant,
+                chunks=max(
+                    1, math.ceil(ticket.nbytes / self.config.segment_bytes)
+                ),
+            )
+        # Admission onto the bounded QP pool: least-loaded QP, FIFO wait
+        # when every QP is at its multiplexing limit.
+        while True:
+            qp = min(pair.qps, key=lambda q: (q.active, q.index))
+            if qp.active < self.config.max_flows_per_qp:
+                qp.active += 1
+                if qp.active == 1:
+                    self._g_qps.add(1)
+                break
+            gate = self.sim.event()
+            pair.waiting.append(gate)
+            self._m_qp_waits.inc()
+            t0 = self.sim.now
+            yield gate
+            self._m_qp_wait_seconds.inc(self.sim.now - t0)
+        ticket.started = self.sim.now
+
+        segments = max(1, math.ceil(ticket.nbytes / self.config.segment_bytes))
+        state = _FlowState(ticket, pair, qp, segments, self.config.segment_bytes)
+        for idx in range(segments):
+            wait = self._admission_wait(tenant, state, state.seg_size(idx))
+            if wait > 0.0:
+                self._m_admission_stalls.inc()
+                self._m_admission_stall_seconds.inc(wait)
+                yield self.sim.timeout(wait)
+                if self._trace.enabled:
+                    self._trace.instant(
+                        "cc_stall", cat="cc", track=f"{self.name}.{ticket.src}",
+                        msg=ticket.seq, chunk=idx, stall=wait,
+                    )
+            self._send_segment(state, idx, 0)
+        yield ticket.done
+
+        qp.active -= 1
+        if qp.active == 0:
+            self._g_qps.add(-1)
+        if pair.waiting:
+            pair.waiting.popleft().succeed()
+        if ticket.completed is not None:
+            tenant.completion_times.append(ticket.span)
+
+    def _admission_wait(
+        self, tenant: TenantState, state: _FlowState, nbytes: int
+    ) -> float:
+        """Longest of the three stacked buckets (all charged now)."""
+        ticket = state.ticket
+        wait = self._uplink(ticket.src).reserve(nbytes)
+        if self.config.enforce_quotas and tenant.bucket is not None:
+            wait = max(wait, tenant.bucket.reserve(nbytes))
+        if tenant.spec.compliant:
+            wait = max(
+                wait, state.pair.pacer.reserve(nbytes, flow=ticket.seq)
+            )
+        return wait
+
+    def _send_segment(self, state: _FlowState, idx: int, attempt: int) -> None:
+        ticket = state.ticket
+        size = state.seg_size(idx)
+        packet = Packet(
+            dst_qpn=0,
+            opcode=Opcode.WRITE_ONLY_IMM,
+            length=size,
+            msg_seq=ticket.seq,
+            pkt_idx=idx,
+            chunk=idx,
+            attempt=attempt,
+        )
+        state.attempt[idx] = attempt
+        state.uid[idx] = packet.uid
+        sent_at = self.sim.now
+        self.net.send(
+            ticket.src,
+            ticket.dst,
+            packet,
+            lambda pkt: self._on_delivered(state, idx, attempt, sent_at, pkt),
+        )
+        self._m_segments_sent.inc()
+        rto = min(state.pair.rto_base * (2.0 ** attempt), 4.0)
+        self.sim.call_in(rto, lambda: self._on_rto(state, idx, attempt))
+
+    def _on_delivered(
+        self, state: _FlowState, idx: int, attempt: int, sent_at: float, packet: Packet
+    ) -> None:
+        # Runs at the destination host; the ACK rides the control plane
+        # back after the reverse path's propagation delay.
+        ticket = state.ticket
+        ack_delay = self.net.path_one_way_delay(ticket.dst, ticket.src)
+        self.sim.call_in(
+            ack_delay,
+            lambda: self._on_ack(state, idx, attempt, sent_at, packet.ce),
+        )
+
+    def _on_ack(
+        self, state: _FlowState, idx: int, attempt: int, sent_at: float, ce: bool
+    ) -> None:
+        if state.acked[idx]:
+            self._m_dup_acks.inc()
+            return
+        ticket = state.ticket
+        if ticket.failed:
+            return
+        state.acked[idx] = True
+        state.remaining -= 1
+        size = state.seg_size(idx)
+        tenant = self.tenants[ticket.tenant]
+        tenant.bytes_acked += size
+        tenant.last_ack = self.sim.now
+        self._m_bytes_acked.inc(size)
+        self._m_segments_acked.inc()
+        if tenant.spec.compliant:
+            pacer = state.pair.pacer
+            if attempt == state.attempt[idx]:  # Karn: first-attempt samples only
+                pacer.on_rtt_sample(self.sim.now - sent_at)
+            if ce:
+                self._m_ecn_echoes.inc()
+                pacer.on_ecn_echo(1, 1)
+            else:
+                pacer.on_ack_progress()
+        if state.remaining == 0:
+            ticket.completed = self.sim.now
+            tenant.flows_completed += 1
+            self._m_flows_completed.inc()
+            if self._trace.enabled:
+                self._trace.instant(
+                    "fabric_deliver", cat="fabric",
+                    track=f"{self.name}.{ticket.src}",
+                    msg=ticket.seq, tenant=ticket.tenant, bytes=ticket.nbytes,
+                )
+            ticket.done.succeed()
+
+    def _on_rto(self, state: _FlowState, idx: int, attempt: int) -> None:
+        ticket = state.ticket
+        if state.acked[idx] or ticket.failed or state.attempt[idx] != attempt:
+            return  # delivered meanwhile, or a newer attempt owns the range
+        self.net.abandon(state.uid[idx])
+        tenant = self.tenants[ticket.tenant]
+        tenant.retransmits += 1
+        ticket.retransmits += 1
+        self._m_segments_retx.inc()
+        if self._trace.enabled:
+            self._trace.instant(
+                "rto_fire", cat="fabric", track=f"{self.name}.{ticket.src}",
+                msg=ticket.seq, chunk=idx, attempt=attempt,
+            )
+        if tenant.spec.compliant:
+            state.pair.pacer.on_loss()
+        if attempt + 1 >= self.config.max_attempts:
+            ticket.failed = True
+            ticket.completed = None
+            tenant.flows_failed += 1
+            self._m_flows_failed.inc()
+            ticket.done.succeed()  # clean failure completion, never a wedge
+            return
+        wait = self._admission_wait(tenant, state, state.seg_size(idx))
+        if wait > 0.0:
+            self.sim.call_in(
+                wait, lambda: self._send_segment(state, idx, attempt + 1)
+            )
+        else:
+            self._send_segment(state, idx, attempt + 1)
+
+    # -- inspection ------------------------------------------------------------
+
+    def tenant(self, name: str) -> TenantState:
+        try:
+            return self.tenants[name]
+        except KeyError:
+            raise ConfigError(f"unknown tenant {name!r}") from None
+
+    @property
+    def completed_flows(self) -> int:
+        return sum(1 for t in self.flows if t.completed is not None)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"FabricService({self.name}, {len(self.tenants)} tenants, "
+            f"{len(self.flows)} flows)"
+        )

@@ -1,0 +1,384 @@
+"""Multi-node fabric topology: hosts, ToR switches, WAN links, routing.
+
+The point-to-point harnesses elsewhere in this repo wire two devices with
+one (possibly bonded) channel.  Planetary scale looks different: hosts
+hang off top-of-rack switches, racks aggregate into WAN routers, and a
+flow's packets cross several store-and-forward hops whose buffer / RTT /
+loss / ECN profiles differ by orders of magnitude (a 100 m ToR uplink vs
+a 3750 km WAN span).  This module models exactly that graph:
+
+* :class:`FabricTopology` is the *description*: named nodes
+  (``host`` / ``tor`` / ``wan``) and directed edges, each carrying its
+  own :class:`~repro.common.config.ChannelConfig` profile.  Helper
+  constructors build the canonical shapes (:func:`dumbbell`,
+  :func:`two_tier`).
+* :class:`FabricNetwork` is the *instantiation*: one
+  :class:`~repro.net.channel.Channel` per directed edge (per-edge RNG
+  substreams keep runs deterministic), shortest-path routing with
+  deterministic tie-breaks, and store-and-forward packet relay.  Because
+  every flow traversing an edge transmits through the same ``Channel``,
+  the edge's serialization backlog, ECN marking and tail drops are shared
+  across all of them -- the contention that makes fairness a question.
+
+Hosts are leaves: routes never transit a ``host`` node, matching real
+fabrics where NICs do not forward.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.common.config import ChannelConfig
+from repro.common.errors import ConfigError
+from repro.net.channel import Channel
+from repro.net.loss import LossModel
+from repro.net.packet import Packet
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngStreams
+
+NODE_KINDS = ("host", "tor", "wan")
+
+
+@dataclass(frozen=True)
+class FabricNode:
+    """One vertex of the topology graph."""
+
+    name: str
+    kind: str
+
+    def __post_init__(self) -> None:
+        if self.kind not in NODE_KINDS:
+            raise ConfigError(
+                f"node kind must be one of {NODE_KINDS}, got {self.kind!r}"
+            )
+        if not self.name:
+            raise ConfigError("node name must be non-empty")
+
+
+@dataclass(frozen=True)
+class FabricEdge:
+    """One directed edge and its channel profile."""
+
+    src: str
+    dst: str
+    config: ChannelConfig
+    loss: LossModel | None = None
+
+    @property
+    def cost(self) -> float:
+        """Routing weight: propagation plus one-MTU serialization."""
+        return self.config.one_way_delay + self.config.packet_time()
+
+
+class FabricTopology:
+    """Declarative multi-node graph: nodes, profiled edges, validation."""
+
+    def __init__(self) -> None:
+        self.nodes: dict[str, FabricNode] = {}
+        self.edges: dict[tuple[str, str], FabricEdge] = {}
+        self._adjacency: dict[str, list[str]] = {}
+
+    # -- construction ----------------------------------------------------------
+
+    def _add_node(self, name: str, kind: str) -> FabricNode:
+        if name in self.nodes:
+            raise ConfigError(f"node {name!r} already exists")
+        node = FabricNode(name, kind)
+        self.nodes[name] = node
+        self._adjacency[name] = []
+        return node
+
+    def add_host(self, name: str) -> FabricNode:
+        return self._add_node(name, "host")
+
+    def add_switch(self, name: str, *, kind: str = "tor") -> FabricNode:
+        if kind == "host":
+            raise ConfigError("use add_host for host nodes")
+        return self._add_node(name, kind)
+
+    def add_link(
+        self,
+        a: str,
+        b: str,
+        config: ChannelConfig,
+        *,
+        config_rev: ChannelConfig | None = None,
+        loss_fwd: LossModel | None = None,
+        loss_rev: LossModel | None = None,
+    ) -> tuple[FabricEdge, FabricEdge]:
+        """Install the two directed edges of one physical link."""
+        for name in (a, b):
+            if name not in self.nodes:
+                raise ConfigError(f"unknown node {name!r}")
+        if a == b:
+            raise ConfigError(f"self-link on {a!r}")
+        if (a, b) in self.edges or (b, a) in self.edges:
+            raise ConfigError(f"{a!r} and {b!r} are already linked")
+        fwd = FabricEdge(a, b, config, loss_fwd)
+        rev = FabricEdge(
+            b, a, config_rev if config_rev is not None else config, loss_rev
+        )
+        self.edges[(a, b)] = fwd
+        self.edges[(b, a)] = rev
+        self._adjacency[a].append(b)
+        self._adjacency[b].append(a)
+        return fwd, rev
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def hosts(self) -> list[str]:
+        return sorted(n for n, node in self.nodes.items() if node.kind == "host")
+
+    def neighbors(self, name: str) -> list[str]:
+        return sorted(self._adjacency[name])
+
+    def edge(self, a: str, b: str) -> FabricEdge:
+        try:
+            return self.edges[(a, b)]
+        except KeyError:
+            raise ConfigError(f"no edge {a!r} -> {b!r}") from None
+
+    def shortest_path(self, src: str, dst: str) -> tuple[str, ...]:
+        """Dijkstra over edge costs; hosts never transit.
+
+        Ties break on (cost, hop count, lexicographic path), so routing
+        is a pure function of the topology -- no RNG, no dict order.
+        """
+        for name in (src, dst):
+            if name not in self.nodes:
+                raise ConfigError(f"unknown node {name!r}")
+        if src == dst:
+            raise ConfigError(f"src and dst are both {src!r}")
+        frontier: list[tuple[float, int, tuple[str, ...]]] = [(0.0, 0, (src,))]
+        best: dict[str, float] = {}
+        while frontier:
+            cost, hops, path = heapq.heappop(frontier)
+            node = path[-1]
+            if node == dst:
+                return path
+            if best.get(node, float("inf")) < cost:
+                continue
+            best[node] = cost
+            if self.nodes[node].kind == "host" and node != src:
+                continue  # hosts are leaves, never transit
+            for nxt in self.neighbors(node):
+                if nxt in path:
+                    continue
+                edge = self.edges[(node, nxt)]
+                ncost = cost + edge.cost
+                if ncost < best.get(nxt, float("inf")):
+                    heapq.heappush(frontier, (ncost, hops + 1, path + (nxt,)))
+        raise ConfigError(f"no route {src!r} -> {dst!r}")
+
+
+# -- canonical shapes ----------------------------------------------------------
+
+
+def dumbbell(
+    *,
+    left_hosts: int,
+    right_hosts: int,
+    host_link: ChannelConfig,
+    bottleneck: ChannelConfig,
+) -> FabricTopology:
+    """``left_hosts`` -- torL == torR -- ``right_hosts``.
+
+    The torL->torR edge is the single shared bottleneck every left-to-
+    right flow must cross: the minimal topology where tenant isolation is
+    a real question.
+    """
+    if left_hosts < 1 or right_hosts < 1:
+        raise ConfigError("dumbbell needs >= 1 host on each side")
+    topo = FabricTopology()
+    topo.add_switch("torL")
+    topo.add_switch("torR")
+    topo.add_link("torL", "torR", bottleneck)
+    for i in range(left_hosts):
+        topo.add_host(f"hL{i}")
+        topo.add_link(f"hL{i}", "torL", host_link)
+    for i in range(right_hosts):
+        topo.add_host(f"hR{i}")
+        topo.add_link(f"hR{i}", "torR", host_link)
+    return topo
+
+
+def two_tier(
+    *,
+    tors: int,
+    hosts_per_tor: int,
+    host_link: ChannelConfig,
+    wan_link: ChannelConfig,
+) -> FabricTopology:
+    """``tors`` racks of ``hosts_per_tor`` hosts around one WAN core.
+
+    Each ToR uplinks to a single ``wan0`` router over its own WAN-profile
+    link; inter-rack traffic crosses two WAN spans.  The shape is the
+    smallest one with distinct intra-rack / WAN profiles and per-rack
+    aggregation contention.
+    """
+    if tors < 1 or hosts_per_tor < 1:
+        raise ConfigError("two_tier needs >= 1 tor and >= 1 host per tor")
+    topo = FabricTopology()
+    topo.add_switch("wan0", kind="wan")
+    for t in range(tors):
+        tor = f"tor{t}"
+        topo.add_switch(tor)
+        topo.add_link(tor, "wan0", wan_link)
+        for h in range(hosts_per_tor):
+            host = f"h{t}-{h}"
+            topo.add_host(host)
+            topo.add_link(host, tor, host_link)
+    return topo
+
+
+# -- instantiation -------------------------------------------------------------
+
+
+@dataclass
+class _Transit:
+    """Book-keeping for one packet in flight across the graph."""
+
+    path: tuple[str, ...]
+    hop: int
+    on_deliver: Callable[[Packet], None]
+    sent_at: float = 0.0
+    meta: dict = field(default_factory=dict)
+
+
+class FabricNetwork:
+    """The built fabric: per-edge channels, routing tables, packet relay.
+
+    ``send`` launches a packet from a source host toward a destination
+    host along the cached shortest path; every hop transmits through that
+    edge's shared :class:`Channel` (FIFO serialization, backlog, ECN,
+    loss), and the packet's CE bit accumulates across hops exactly like
+    an IP ECN field.  Delivery at the final host invokes the caller's
+    ``on_deliver``; drops anywhere simply never deliver -- loss detection
+    is the service layer's job (timeouts), as on a real fabric.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: FabricTopology,
+        *,
+        streams: RngStreams | None = None,
+        seed: int = 0,
+        name: str = "fabric",
+    ):
+        self.sim = sim
+        self.topology = topology
+        self.name = name
+        self.streams = streams if streams is not None else RngStreams(seed)
+        self.channels: dict[tuple[str, str], Channel] = {}
+        self._routes: dict[tuple[str, str], tuple[str, ...]] = {}
+        self._inflight: dict[int, _Transit] = {}
+        for (a, b), edge in sorted(topology.edges.items()):
+            channel = Channel(
+                sim,
+                edge.config,
+                rng=self.streams.get(f"{name}.edge.{a}->{b}"),
+                loss=edge.loss,
+                name=f"{name}.{a}->{b}",
+            )
+            channel.attach_sink(
+                lambda packet, hop_key=(a, b): self._on_edge_delivery(
+                    hop_key, packet
+                )
+            )
+            self.channels[(a, b)] = channel
+
+    # -- routing ---------------------------------------------------------------
+
+    def route(self, src: str, dst: str) -> tuple[str, ...]:
+        key = (src, dst)
+        path = self._routes.get(key)
+        if path is None:
+            path = self.topology.shortest_path(src, dst)
+            self._routes[key] = path
+        return path
+
+    def path_one_way_delay(self, src: str, dst: str) -> float:
+        """Propagation plus per-hop one-MTU serialization along the route."""
+        path = self.route(src, dst)
+        return sum(
+            self.topology.edge(a, b).cost for a, b in zip(path, path[1:])
+        )
+
+    def path_rtt(self, src: str, dst: str) -> float:
+        return self.path_one_way_delay(src, dst) + self.path_one_way_delay(
+            dst, src
+        )
+
+    def bottleneck_bps(self, src: str, dst: str) -> float:
+        path = self.route(src, dst)
+        return min(
+            self.topology.edge(a, b).config.bandwidth_bps
+            for a, b in zip(path, path[1:])
+        )
+
+    def uplink_bps(self, host: str) -> float:
+        """Egress bandwidth of a host's (single or fastest) access link."""
+        rates = [
+            self.topology.edges[(host, peer)].config.bandwidth_bps
+            for peer in self.topology.neighbors(host)
+        ]
+        if not rates:
+            raise ConfigError(f"host {host!r} has no links")
+        return max(rates)
+
+    # -- datapath --------------------------------------------------------------
+
+    def send(
+        self,
+        src: str,
+        dst: str,
+        packet: Packet,
+        on_deliver: Callable[[Packet], None],
+        **meta,
+    ) -> tuple[str, ...]:
+        """Launch ``packet`` from host ``src`` toward host ``dst``."""
+        path = self.route(src, dst)
+        self._inflight[packet.uid] = _Transit(
+            path=path,
+            hop=0,
+            on_deliver=on_deliver,
+            sent_at=self.sim.now,
+            meta=meta,
+        )
+        self.channels[(path[0], path[1])].transmit(packet)
+        return path
+
+    def abandon(self, uid: int) -> None:
+        """Forget an in-flight packet (its RTO fired; a new attempt owns
+        the byte range now).  A late copy that still arrives is dropped at
+        the next hop instead of delivered twice."""
+        self._inflight.pop(uid, None)
+
+    @property
+    def inflight_count(self) -> int:
+        return len(self._inflight)
+
+    def _on_edge_delivery(self, hop_key: tuple[str, str], packet: Packet) -> None:
+        transit = self._inflight.get(packet.uid)
+        if transit is None:
+            return  # abandoned (stale attempt) or duplicated copy
+        node = transit.path[transit.hop + 1]
+        if hop_key[1] != node:
+            return  # duplicate from an earlier hop; the fresh copy leads
+        if node == transit.path[-1]:
+            del self._inflight[packet.uid]
+            transit.on_deliver(packet)
+            return
+        transit.hop += 1
+        nxt = transit.path[transit.hop + 1]
+        self.channels[(node, nxt)].transmit(packet)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"FabricNetwork({self.name}, {len(self.topology.nodes)} nodes, "
+            f"{len(self.channels)} directed edges)"
+        )

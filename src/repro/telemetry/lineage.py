@@ -98,6 +98,8 @@ class MessageLineage:
 
     msg: int
     protocol: str = ""
+    #: Owning tenant (``repro.fabric`` traffic); None for single-tenant runs.
+    tenant: str | None = None
     bytes: int = 0
     chunks: int = 0
     posted: float = 0.0
@@ -212,6 +214,9 @@ class LineageAnalyzer:
             rec.posted = ev.ts
             rec.bytes = int(ev.args.get("bytes", 0))
             rec.chunks = int(ev.args.get("chunks", 0))
+            tenant = ev.args.get("tenant")
+            if tenant is not None:
+                rec.tenant = str(tenant)
             for member in list(ev.args.get("data_seqs", ())) + list(
                 ev.args.get("parity_seqs", ())
             ):
@@ -235,6 +240,10 @@ class LineageAnalyzer:
             if ev.name in ("sr_write", "ec_write"):
                 rec.completed = ev.ts + (ev.dur or 0.0)
                 rec.posted = ev.ts
+            elif ev.name == "fabric_deliver":
+                # Fabric completions measure submit-to-last-ACK, so the
+                # posted timestamp (the msg_post) is kept as-is.
+                rec.completed = ev.ts
             elif ev.name == "write_failed" or ev.name == "global_timeout":
                 rec.failed = True
             elif ev.name in ("loss_drop", "tail_drop", "fault_drop"):
@@ -335,6 +344,18 @@ class LineageAnalyzer:
 
     def get(self, msg: int) -> MessageLineage | None:
         return self.messages.get(msg)
+
+    def by_tenant(self) -> dict[str, list[MessageLineage]]:
+        """Completed messages grouped by owning tenant, sorted by name.
+
+        Only fabric traffic stamps a tenant; single-tenant traces yield an
+        empty mapping.
+        """
+        out: dict[str, list[MessageLineage]] = {}
+        for m in self.completed:
+            if m.tenant is not None:
+                out.setdefault(m.tenant, []).append(m)
+        return {name: out[name] for name in sorted(out)}
 
     def p50_span(self) -> float:
         spans = sorted(m.span for m in self.completed)

@@ -85,6 +85,7 @@ def step_time_samples(
     n_samples: int = 1000,
     *,
     rng: np.random.Generator | None = None,
+    seed: int = 0,
 ) -> np.ndarray:
     """Monte-Carlo samples of the training-step completion time.
 
@@ -92,10 +93,15 @@ def step_time_samples(
     ``max(ready_i, done_{i-1})`` and takes a freshly sampled reliable-Write
     completion time; the step finishes at
     ``max(backward_seconds, done_last)``.
+
+    Without an explicit ``rng`` the generator is seeded from ``seed``
+    (default 0), upholding the repo-wide invariant that every workload is
+    deterministic by default: the same seed produces byte-identical
+    samples.
     """
     if n_samples <= 0:
         raise ConfigError(f"need >= 1 sample, got {n_samples}")
-    rng = rng if rng is not None else np.random.default_rng()
+    rng = rng if rng is not None else np.random.default_rng(seed)
     trace = make_trace(config)
     done = np.zeros(n_samples)
     for ready, size in zip(trace.ready_times, trace.sizes):
@@ -110,7 +116,8 @@ def communication_exposed_seconds(
     n_samples: int = 1000,
     *,
     rng: np.random.Generator | None = None,
+    seed: int = 0,
 ) -> np.ndarray:
     """How much of the step the network fails to hide behind compute."""
-    samples = step_time_samples(config, sampler, n_samples, rng=rng)
+    samples = step_time_samples(config, sampler, n_samples, rng=rng, seed=seed)
     return samples - config.backward_seconds

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cc import Pacer, StaticRateController, SwiftController
+from repro.cc import Pacer, StaticRateController, SwiftController, TokenBucketGroup
 from repro.common.errors import ConfigError
 from repro.sim.engine import Simulator
 
@@ -72,6 +72,85 @@ class TestReserve:
             Pacer(sim, StaticRateController(), planes=0)
         with pytest.raises(ConfigError):
             Pacer(sim, StaticRateController(), burst_bytes=0)
+
+
+class TestSharing:
+    """Multiple QPs on one link must draw from a single token bucket."""
+
+    def test_shared_group_enforces_aggregate_rate(self):
+        # Two pacers (one per QP) on the same 8 Gbit/s link.  Sharing the
+        # group means the second QP sees the deficit the first created --
+        # the two QPs split the link instead of each assuming they own it.
+        sim = Simulator()
+        ctrl = StaticRateController(8 * GBPS)
+        group = TokenBucketGroup(sim, ctrl, burst_bytes=4096)
+        qp_a = Pacer(sim, ctrl, name="qp_a", buckets=group)
+        qp_b = Pacer(sim, ctrl, name="qp_b", buckets=group)
+        assert qp_a.reserve(4096) == 0.0  # burst
+        wait_b = qp_b.reserve(4096)
+        assert wait_b == pytest.approx(4096 / 1e9)
+        # And deeper: a third reserve from either pacer queues behind both.
+        assert qp_a.reserve(4096) == pytest.approx(2 * 4096 / 1e9)
+
+    def test_private_groups_do_not_interact(self):
+        # The historical (buggy-for-multiplexing) shape: each pacer builds
+        # its own bucket, so neither sees the other's spending.
+        sim = Simulator()
+        qp_a = Pacer(sim, StaticRateController(8 * GBPS), name="a",
+                     burst_bytes=4096)
+        qp_b = Pacer(sim, StaticRateController(8 * GBPS), name="b",
+                     burst_bytes=4096)
+        assert qp_a.reserve(4096) == 0.0
+        assert qp_b.reserve(4096) == 0.0  # full burst again: private bucket
+
+    def test_shared_group_requires_shared_controller(self):
+        sim = Simulator()
+        group = TokenBucketGroup(sim, StaticRateController(8 * GBPS))
+        with pytest.raises(ConfigError):
+            Pacer(sim, StaticRateController(8 * GBPS), buckets=group)
+
+    def test_each_pacer_keeps_its_own_metrics(self):
+        sim = Simulator()
+        ctrl = StaticRateController(8 * GBPS)
+        group = TokenBucketGroup(sim, ctrl, burst_bytes=64 * 1024)
+        qp_a = Pacer(sim, ctrl, name="qp_a", buckets=group)
+        qp_b = Pacer(sim, ctrl, name="qp_b", buckets=group)
+        qp_a.reserve(4096)
+        qp_a.reserve(4096)
+        qp_b.reserve(4096)
+        m = sim.telemetry.metrics
+        assert m.value("cc.qp_a.paced_packets") == 2
+        assert m.value("cc.qp_b.paced_packets") == 1
+
+    def test_group_validation(self):
+        sim = Simulator()
+        with pytest.raises(ConfigError):
+            TokenBucketGroup(sim, StaticRateController(), planes=0)
+        with pytest.raises(ConfigError):
+            TokenBucketGroup(sim, StaticRateController(), burst_bytes=0)
+
+
+class TestBindFlow:
+    def test_bound_flow_overrides_hash(self):
+        sim, pacer = make(planes=2, burst_bytes=4096)
+        # Flow 3 would hash to plane 1; pin it to plane 0 instead.
+        pacer.bind_flow(3, 0)
+        assert pacer.plane_of(3) == 0
+        pacer.reserve(4096, flow=0)  # plane 0 burst spent
+        wait = pacer.reserve(4096, flow=3)
+        assert wait > 0  # shares plane 0's bucket, not plane 1's
+
+    def test_unbound_flows_hash(self):
+        sim, pacer = make(planes=2)
+        assert pacer.plane_of(2) == 0
+        assert pacer.plane_of(3) == 1
+
+    def test_bind_flow_validates_plane(self):
+        sim, pacer = make(planes=2)
+        with pytest.raises(ConfigError):
+            pacer.bind_flow(0, 2)
+        with pytest.raises(ConfigError):
+            pacer.bind_flow(0, -1)
 
 
 class TestSignals:

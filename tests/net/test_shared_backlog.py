@@ -1,0 +1,157 @@
+"""Multi-flow channel sharing: backlog and ECN accounting across senders.
+
+A fabric edge is one :class:`Channel` shared by every flow routed over
+it.  These tests pin the contract the fabric relies on: concurrent
+senders see one FIFO backlog (not per-sender queues), tail drops charge
+whoever overflows the shared buffer, and the CE-mark fraction reflects
+the aggregate backlog consistently.
+"""
+
+import numpy as np
+import pytest
+
+from repro.common.config import ChannelConfig
+from repro.net.channel import Channel
+from repro.net.packet import Opcode, Packet
+from repro.sim.engine import Simulator
+
+PKT = 4 * 1024
+
+
+def make_channel(sim, **kw):
+    defaults = dict(
+        bandwidth_bps=10e9,
+        distance_km=10.0,
+        mtu_bytes=PKT,
+    )
+    defaults.update(kw)
+    return Channel(sim, ChannelConfig(**defaults), rng=np.random.default_rng(0))
+
+
+def pkt(src_qpn, length=PKT):
+    return Packet(
+        dst_qpn=1, opcode=Opcode.WRITE_ONLY, length=length, src_qpn=src_qpn
+    )
+
+
+def burst(sim, channel, senders, per_sender, stagger=0.0):
+    """Round-robin ``per_sender`` packets from each of ``senders`` QPs:
+    all at t=0, or each sender self-paced by ``stagger`` seconds."""
+    if stagger == 0.0:
+        for _ in range(per_sender):
+            for s in range(senders):
+                channel.transmit(pkt(s))
+        return
+
+    def _one(s):
+        for _ in range(per_sender):
+            yield sim.timeout(stagger)
+            channel.transmit(pkt(s))
+
+    for s in range(senders):
+        sim.process(_one(s))
+
+
+class TestSharedBacklog:
+    def test_backlog_is_aggregate_not_per_sender(self):
+        # 8 senders x 4 packets at t=0: the last packet's delivery time
+        # reflects 32 serializations queued FIFO, not 4.
+        sim = Simulator()
+        ch = make_channel(sim)
+        arrivals = []
+        ch.attach_sink(lambda p: arrivals.append((sim.now, p.src_qpn)))
+        burst(sim, ch, senders=8, per_sender=4)
+        sim.run()
+        ser = PKT / ch.config.bytes_per_second
+        times = [t for t, _ in arrivals]
+        assert len(arrivals) == 32
+        # FIFO spacing: exactly one serialization time between deliveries.
+        assert np.allclose(np.diff(times), ser)
+        last_expected = 32 * ser + ch.config.one_way_delay
+        assert times[-1] == pytest.approx(last_expected)
+
+    def test_single_sender_equivalent_backlog(self):
+        # The shared queue does not care who the bytes came from: N
+        # senders' interleaved burst drains on the same schedule as one
+        # sender's burst of the same total size.
+        def run(senders, per_sender):
+            sim = Simulator()
+            ch = make_channel(sim)
+            times = []
+            ch.attach_sink(lambda p: times.append(sim.now))
+            burst(sim, ch, senders, per_sender)
+            sim.run()
+            return times
+
+        assert run(8, 4) == pytest.approx(run(1, 32))
+
+    def test_tail_drops_charge_the_overflower(self):
+        # Buffer of 8 packets, 16 offered at t=0: packets 10..16 drop no
+        # matter which sender posted them.
+        sim = Simulator()
+        ch = make_channel(sim, buffer_bytes=8 * PKT)
+        got = []
+        ch.attach_sink(lambda p: got.append(p.src_qpn))
+        burst(sim, ch, senders=4, per_sender=4)
+        sim.run()
+        stats = ch.stats
+        assert stats.packets_dropped > 0
+        assert stats.packets_dropped + len(got) == 16
+        # Round-robin arrival: drops hit the tail of the round-robin, so
+        # every sender loses roughly equally -- nobody gets a free ride.
+        delivered_per_sender = np.bincount(got, minlength=4)
+        assert delivered_per_sender.max() - delivered_per_sender.min() <= 1
+
+    def test_ce_fraction_consistent_across_senders(self):
+        # ECN threshold of 4 packets: once the shared backlog crosses it,
+        # everyone's packets get marked at the same rate, regardless of
+        # which QP they came from.
+        sim = Simulator()
+        ch = make_channel(sim, ecn_threshold_bytes=4 * PKT)
+        marked = {s: 0 for s in range(4)}
+        seen = {s: 0 for s in range(4)}
+
+        def sink(p):
+            seen[p.src_qpn] += 1
+            if p.ce:
+                marked[p.src_qpn] += 1
+
+        ch.attach_sink(sink)
+        burst(sim, ch, senders=4, per_sender=8)
+        sim.run()
+        fractions = [marked[s] / seen[s] for s in range(4)]
+        assert all(f > 0 for f in fractions)
+        # Interleaved identical offered load => near-identical CE rates.
+        assert max(fractions) - min(fractions) <= 0.25
+        total_marked = sum(marked.values())
+        # First ~4 packets sneak under the threshold; the rest are marked.
+        assert total_marked == 32 - 4
+
+    def test_ce_marks_stop_when_backlog_drains(self):
+        sim = Simulator()
+        ch = make_channel(sim, ecn_threshold_bytes=4 * PKT)
+        events = []
+        ch.attach_sink(lambda p: events.append(p.ce))
+        burst(sim, ch, senders=4, per_sender=4)
+        sim.run()
+        assert any(events)
+        # Paced arrivals (well under line rate) never build the backlog.
+        ser = PKT / ch.config.bytes_per_second
+        events.clear()
+        burst(sim, ch, senders=4, per_sender=4, stagger=8 * ser)
+        sim.run()
+        assert not any(events)
+
+    def test_metrics_count_shared_totals(self):
+        sim = Simulator()
+        ch = make_channel(
+            sim, buffer_bytes=8 * PKT, ecn_threshold_bytes=4 * PKT,
+        )
+        ch.attach_sink(lambda p: None)
+        burst(sim, ch, senders=4, per_sender=4)
+        sim.run()
+        m = sim.telemetry.metrics
+        offered = m.value("net.channel.packets_offered")
+        dropped = m.value("net.channel.tail_drops")
+        assert offered == 16
+        assert dropped == ch.stats.packets_dropped > 0
