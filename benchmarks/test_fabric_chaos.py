@@ -1,0 +1,92 @@
+"""Flow survival under fabric chaos (repro.fabric.chaos).
+
+Each schedule runs the canonical two-tier chaos geometry (4 racks of
+dual-homed hosts around 2 WAN cores) with the edge-health monitor on.
+The acceptance bar: under any single-fault schedule (``tor_crash``,
+``wan_flap``) health-driven rerouting carries >= 99% of messages through
+-- against the static-routing counterfactual regenerated alongside:
+near-total loss of affected flows under a permanent fault, a multiple
+slower drain under a transient flap.  The full-core
+``fabric_partition`` is exempt from the survival gate by design; its bar
+is *clean* failure (every lost flow ends in a DeliveryError bitmap, no
+wedges).
+"""
+
+import pytest
+
+from repro.experiments.report import Table
+from repro.fabric import ChaosConfig, chaos_scenario
+
+from conftest import run_once, show
+
+MIN_SURVIVAL = 0.99
+
+
+def _sweep(schedule: str):
+    rerouted = chaos_scenario(ChaosConfig(schedule=schedule))
+    static = chaos_scenario(
+        ChaosConfig(schedule=schedule, health=False)
+    )
+    table = Table(
+        title=f"Fabric chaos survival: {schedule}",
+        columns=[
+            "routing", "messages", "completed", "delivery_errors",
+            "survival", "path_changes", "breaker_opens", "drained_ms",
+        ],
+        notes=(
+            "survival = completed / messages; static routing is the "
+            "counterfactual the edge-health gate exists to prevent"
+        ),
+    )
+    for label, result in (("edge-health", rerouted), ("static", static)):
+        table.add_row(
+            label, result.messages, result.completed,
+            result.delivery_errors, round(result.survival, 4),
+            int(result.reroute["path_changes"]),
+            int(result.edge_health.get("breaker_opens", 0)),
+            round(result.drained_at * 1e3, 3),
+        )
+    return table, rerouted, static
+
+
+@pytest.mark.parametrize("schedule", ["tor_crash", "wan_flap"])
+def test_fabric_chaos_survival(benchmark, schedule):
+    table, rerouted, static = run_once(benchmark, lambda: _sweep(schedule))
+    show(table)
+    # The acceptance bar: rerouting carries >= 99% of messages through.
+    assert rerouted.survival >= MIN_SURVIVAL
+    assert rerouted.delivery_errors == 0
+    assert rerouted.reroute["path_changes"] > 0
+    if schedule == "tor_crash":
+        # Permanent fault: static routing loses every affected flow.
+        assert static.survival < MIN_SURVIVAL
+        assert static.survival < rerouted.survival
+    else:
+        # Transient flap: static routing survives by stalling through
+        # both blackouts; detours must drain at least 2x faster.
+        assert static.drained_at >= 2.0 * rerouted.drained_at
+
+
+def test_fabric_chaos_partition_fails_cleanly(benchmark):
+    def run():
+        result = chaos_scenario(ChaosConfig(schedule="fabric_partition"))
+        table = Table(
+            title="Fabric chaos: full core partition (gate-exempt)",
+            columns=[
+                "messages", "completed", "failed", "delivery_errors",
+                "survival", "drained_ms",
+            ],
+            notes="every failure must be a clean DeliveryError, no wedges",
+        )
+        table.add_row(
+            result.messages, result.completed, result.failed,
+            result.delivery_errors, round(result.survival, 4),
+            round(result.drained_at * 1e3, 3),
+        )
+        return table, result
+
+    table, result = run_once(benchmark, run)
+    show(table)
+    assert result.delivery_errors > 0
+    assert result.failed == result.delivery_errors
+    assert result.completed + result.failed == result.messages

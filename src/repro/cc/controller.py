@@ -59,6 +59,27 @@ class RateController:
         self._next_cut = now + self.cut_interval
         return True
 
+    def rebind(
+        self, *, line_rate_bps: float, base_rtt: float, now: float = 0.0
+    ) -> None:
+        """Re-anchor the controller to a new path (mid-transfer reroute).
+
+        The fabric calls this when a flow's route changes: the bottleneck
+        rate and base RTT of the *new* path replace the old anchors, and
+        the current rate is clamped into the new envelope rather than
+        reset -- congestion state learned so far stays meaningful.
+        An unpaced null controller (``line_rate_bps=None``) is untouched.
+        """
+        if line_rate_bps <= 0:
+            raise ConfigError(f"line rate must be > 0, got {line_rate_bps}")
+        if base_rtt <= 0:
+            raise ConfigError(f"base RTT must be > 0, got {base_rtt}")
+        if self.line_rate_bps is None:
+            return
+        self.line_rate_bps = line_rate_bps
+        if self.rate_bps is not None:
+            self.rate_bps = min(self.rate_bps, line_rate_bps)
+
     # -- signal ingress (all optional no-ops) -----------------------------------
 
     def on_rtt_sample(self, sample: float, now: float = 0.0) -> None:
@@ -133,6 +154,20 @@ class SwiftController(RateController):
         self._beta = beta
         self._max_decrease = max_decrease
         self._min_rate_bps = min_rate_fraction * line_rate_bps
+
+    def rebind(
+        self, *, line_rate_bps: float, base_rtt: float, now: float = 0.0
+    ) -> None:
+        # Preserve the configured *fractions*, re-anchored to the new path.
+        target_rtts = self.target_delay / self.cut_interval
+        ai_fraction = self._ai_bps / self.line_rate_bps
+        min_fraction = self._min_rate_bps / self.line_rate_bps
+        super().rebind(line_rate_bps=line_rate_bps, base_rtt=base_rtt, now=now)
+        self.target_delay = base_rtt * target_rtts
+        self.cut_interval = base_rtt
+        self._ai_bps = ai_fraction * line_rate_bps
+        self._min_rate_bps = min_fraction * line_rate_bps
+        self.rate_bps = max(self.rate_bps, self._min_rate_bps)
 
     def _increase(self) -> None:
         self.rate_bps = min(self.rate_bps + self._ai_bps, self.line_rate_bps)
@@ -213,6 +248,18 @@ class DcqcnController(RateController):
         self.alpha = 1.0
         self.target_rate_bps = line_rate_bps
         self._recovery_round = 0
+
+    def rebind(
+        self, *, line_rate_bps: float, base_rtt: float, now: float = 0.0
+    ) -> None:
+        ai_fraction = self._ai_bps / self.line_rate_bps
+        min_fraction = self._min_rate_bps / self.line_rate_bps
+        super().rebind(line_rate_bps=line_rate_bps, base_rtt=base_rtt, now=now)
+        self.cut_interval = base_rtt
+        self._ai_bps = ai_fraction * line_rate_bps
+        self._min_rate_bps = min_fraction * line_rate_bps
+        self.target_rate_bps = min(self.target_rate_bps, line_rate_bps)
+        self.rate_bps = max(min(self.rate_bps, line_rate_bps), self._min_rate_bps)
 
     def on_ecn_echo(self, marked: int, seen: int, now: float = 0.0) -> None:
         assert self.rate_bps is not None

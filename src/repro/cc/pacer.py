@@ -217,6 +217,18 @@ class Pacer:
         self._m_stalls.inc()
         self._m_stall_seconds.inc(seconds)
 
+    def rebind(self, *, line_rate_bps: float, base_rtt: float) -> None:
+        """Re-anchor the controller to a new path after a reroute.
+
+        The current rate survives (clamped to the new line rate) -- a flow
+        migrating to a slower detour should not restart from line rate, and
+        one migrating back should not forget its congestion state.
+        """
+        self.controller.rebind(
+            line_rate_bps=line_rate_bps, base_rtt=base_rtt, now=self.sim.now
+        )
+        self._publish_rate()
+
     def plane_backlog(self, plane: int) -> float:
         """Seconds of pacing deficit currently queued on ``plane``'s bucket.
 

@@ -429,6 +429,89 @@ def _tenant_rows(reports) -> list[dict]:
     ]
 
 
+def _cmd_fabric_chaos(args, telemetry, ring) -> int:
+    from repro.fabric import ChaosConfig, chaos_scenario, lineage_tenant_table
+
+    config = ChaosConfig(
+        schedule=args.chaos,
+        seed=args.seed,
+        cc=args.cc,
+        health=not args.no_health,
+    )
+    result = chaos_scenario(config, telemetry=telemetry)
+    summary = Table(
+        title=(
+            f"Fabric chaos: {config.schedule}, cc={config.cc}, "
+            f"seed={config.seed}, edge health "
+            f"{'on' if config.health else 'OFF (static routing)'}"
+        ),
+        columns=["messages", "completed", "failed", "delivery_errors",
+                 "survival", "reroutes", "drained_ms", "digest"],
+        notes="survival = completed / messages; reroutes = pair path changes",
+    )
+    summary.add_row(
+        result.messages, result.completed, result.failed,
+        result.delivery_errors, round(result.survival, 4),
+        int(result.reroute["path_changes"]),
+        round(result.drained_at * 1e3, 3), result.digest[:16],
+    )
+    print(summary.render())
+    if result.breaker_states:
+        states = Table(
+            title="Non-closed breakers at drain", columns=["edge", "state"]
+        )
+        for edge, state in sorted(result.breaker_states.items()):
+            states.add_row(edge, state)
+        print()
+        print(states.render())
+    if ring is not None:
+        from repro.telemetry.lineage import LineageAnalyzer
+
+        print()
+        print(
+            lineage_tenant_table(
+                LineageAnalyzer.from_events(ring.events)
+            ).render()
+        )
+    if args.json:
+        _fabric_json(args.json, {
+            "preset": "chaos",
+            "schedule": config.schedule,
+            "seed": config.seed,
+            "cc": config.cc,
+            "health": config.health,
+            "rtt_s": result.rtt,
+            "messages": result.messages,
+            "completed": result.completed,
+            "failed": result.failed,
+            "delivery_errors": result.delivery_errors,
+            "survival": result.survival,
+            "drained_s": result.drained_at,
+            "digest": result.digest,
+            "reroute": result.reroute,
+            "edge_health": result.edge_health,
+            "breaker_states": result.breaker_states,
+        })
+    status = 0
+    if args.min_survival is not None and result.survival < args.min_survival:
+        print(
+            f"error: survival {result.survival:.4f} below required "
+            f"{args.min_survival:g}",
+            file=sys.stderr,
+        )
+        status = 1
+    if result.delivery_errors and config.schedule != "fabric_partition":
+        # Only a true partition may end flows in DeliveryError; under any
+        # single-fault schedule rerouting must carry every flow through.
+        print(
+            f"error: {result.delivery_errors} flow(s) ended in "
+            f"DeliveryError under non-partition chaos",
+            file=sys.stderr,
+        )
+        status = 1
+    return status
+
+
 def cmd_fabric(args) -> int:
     import dataclasses
 
@@ -450,6 +533,9 @@ def cmd_fabric(args) -> int:
             raise ConfigError("--lineage traces are too large at scale")
         ring = RingBufferSink(capacity=1 << 20)
         telemetry = Telemetry(trace=True, trace_sinks=[ring])
+
+    if args.chaos:
+        return _cmd_fabric_chaos(args, telemetry, ring)
 
     if args.preset == "scale":
         config = ScaleConfig(
@@ -740,6 +826,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--min-victim-fraction", type=float, default=None, metavar="F",
         help="exit non-zero if the victim retains less than F of its "
              "solo goodput (CI gate)",
+    )
+    fabric.add_argument(
+        "--chaos", default=None, metavar="NAME",
+        help="run a fabric chaos survival experiment instead of the "
+             "preset: tor_crash, wan_flap or fabric_partition",
+    )
+    fabric.add_argument(
+        "--no-health", action="store_true",
+        help="disable the edge-health monitor under --chaos (static "
+             "routing: the documented near-total-loss counterfactual)",
+    )
+    fabric.add_argument(
+        "--min-survival", type=float, default=None, metavar="F",
+        help="exit non-zero if fewer than F of the chaos run's messages "
+             "complete (CI gate; use with --chaos)",
     )
     fabric.add_argument(
         "--json", metavar="PATH", help="dump the result as JSON"

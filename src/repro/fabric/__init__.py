@@ -10,11 +10,27 @@ layers:
 * :mod:`repro.fabric.service` -- the provider: tenant quotas, bounded
   per-pair QP pools, per-pair congestion control, segment-level
   reliability (RTO + bounded retransmission).
+* :mod:`repro.fabric.health` -- per-edge circuit breakers feeding
+  health-driven route recomputation (open edges drop out of Dijkstra,
+  half-open edges are probed by the traffic they attract).
+* :mod:`repro.fabric.chaos` -- topology-level fault injection
+  (``edge_down`` / ``node_crash`` windows) and the canned survival
+  experiments behind ``repro fabric --chaos``.
 * :mod:`repro.fabric.scenarios` / :mod:`repro.fabric.report` -- canned
   fairness and scale experiments plus per-tenant reporting, surfaced as
   the ``repro fabric`` CLI subcommand and the fabric benchmarks.
 """
 
+from repro.fabric.chaos import (
+    FABRIC_SCHEDULES,
+    ChaosConfig,
+    ChaosResult,
+    FabricChaosPlane,
+    chaos_scenario,
+    fabric_schedule,
+    install_fabric_faults,
+)
+from repro.fabric.health import BreakerConfig, EdgeHealthMonitor
 from repro.fabric.report import (
     TenantReport,
     jain_index,
@@ -47,7 +63,16 @@ from repro.fabric.topology import (
 )
 
 __all__ = [
+    "BreakerConfig",
+    "ChaosConfig",
+    "ChaosResult",
+    "EdgeHealthMonitor",
+    "FABRIC_SCHEDULES",
+    "FabricChaosPlane",
     "FabricNetwork",
+    "chaos_scenario",
+    "fabric_schedule",
+    "install_fabric_faults",
     "FabricService",
     "FabricServiceConfig",
     "FabricTopology",

@@ -32,6 +32,20 @@ Loss is handled at segment granularity: each segment arms an RTO
 (exponential backoff, bounded attempts); ACKs return after the reverse
 path's propagation delay and carry the accumulated ECN CE mark.  All
 state advances on simulator events only -- same seed, same run.
+
+Topology failures degrade gracefully rather than killing flows.  When an
+:class:`~repro.fabric.health.EdgeHealthMonitor` trips a breaker the
+network invalidates its routes and notifies this service, which
+re-resolves every pair's path, rebinds the pair's pacer to the detour's
+bottleneck/RTT, and lets in-flight flows migrate mid-transfer (their
+next segments and retransmits simply launch on the new path).  Segments
+stranded on the dead path get a bounded *resumption*: their RTO backoff
+resets once per reroute (up to ``max_resumptions``) so a healthy detour
+is not punished for the dead primary's timeouts.  Only when **no** route
+exists at all does a flow start the partition clock; past
+``partition_deadline`` it fails cleanly with a
+:class:`~repro.common.errors.DeliveryError` carrying the delivered-chunk
+bitmap, never a wedge.
 """
 
 from __future__ import annotations
@@ -40,9 +54,11 @@ import math
 from collections import deque
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.cc.controller import CC_ALGORITHMS, StaticRateController, make_controller
 from repro.cc.pacer import Pacer, TokenBucketGroup
-from repro.common.errors import ConfigError
+from repro.common.errors import ConfigError, DeliveryError
 from repro.common.units import KiB
 from repro.fabric.topology import FabricNetwork
 from repro.net.packet import Opcode, Packet
@@ -92,6 +108,17 @@ class FabricServiceConfig:
     max_attempts: int = 8
     #: Burst depth of the shared per-uplink line-rate bucket.
     uplink_burst_bytes: int = 128 * KiB
+    #: Seconds a flow tolerates *no route at all* (every candidate path
+    #: crosses an open breaker) before failing with
+    #: :class:`~repro.common.errors.DeliveryError`.  The clock starts at
+    #: the first no-route send and resets when any segment launches.
+    partition_deadline: float = 0.5
+    #: Times a flow's per-segment attempt counter may reset after a
+    #: reroute (the segment timed out on a path that no longer exists;
+    #: the detour deserves a fresh retry budget).  Sized so a flow
+    #: survives several half-open probe cycles of a permanently dead
+    #: primary path before its RTO backoff escalates to the cap.
+    max_resumptions: int = 4
 
     def __post_init__(self) -> None:
         if self.cc not in CC_ALGORITHMS:
@@ -114,6 +141,14 @@ class FabricServiceConfig:
             raise ConfigError(
                 f"uplink burst must be > 0, got {self.uplink_burst_bytes}"
             )
+        if self.partition_deadline <= 0:
+            raise ConfigError(
+                f"partition_deadline must be > 0, got {self.partition_deadline}"
+            )
+        if self.max_resumptions < 0:
+            raise ConfigError(
+                f"max_resumptions must be >= 0, got {self.max_resumptions}"
+            )
 
 
 @dataclass
@@ -131,6 +166,10 @@ class FlowTicket:
     failed: bool = False
     retransmits: int = 0
     done: Event | None = None
+    #: Set on terminal failure caused by a fabric partition: the
+    #: :class:`~repro.common.errors.DeliveryError` carrying the
+    #: delivered-chunk bitmap.  Plain RTO exhaustion leaves it ``None``.
+    error: Exception | None = None
 
     @property
     def span(self) -> float | None:
@@ -173,15 +212,25 @@ class FabricQp:
 class _PairState:
     """Per (src, dst) host pair: QP pool, cc state, admission queue."""
 
-    __slots__ = ("key", "qps", "waiting", "pacer", "base_rtt", "rto_base")
+    __slots__ = (
+        "key", "qps", "waiting", "pacer", "base_rtt", "rto_base",
+        "path", "flows", "reroutes",
+    )
 
-    def __init__(self, key, qps, pacer, base_rtt, rto_base):
+    def __init__(self, key, qps, pacer, base_rtt, rto_base, path):
         self.key = key
         self.qps = qps
         self.waiting: deque[Event] = deque()
         self.pacer = pacer
         self.base_rtt = base_rtt
         self.rto_base = rto_base
+        #: The pair's current resolved route; compared against fresh
+        #: recomputations on every route invalidation.
+        self.path: tuple[str, ...] = path
+        #: Flows currently admitted on this pair (for migration instants).
+        self.flows: list[_FlowState] = []
+        #: Route changes this pair has absorbed (0 = never rerouted).
+        self.reroutes = 0
 
 
 class _FlowState:
@@ -189,7 +238,8 @@ class _FlowState:
 
     __slots__ = (
         "ticket", "pair", "qp", "segments", "seg_bytes", "remaining",
-        "acked", "attempt", "uid",
+        "acked", "attempt", "uid", "sent_path", "route_lost_at",
+        "resumptions", "max_acked",
     )
 
     def __init__(self, ticket, pair, qp, segments, seg_bytes):
@@ -202,6 +252,15 @@ class _FlowState:
         self.acked = [False] * segments
         self.attempt = [0] * segments
         self.uid = [0] * segments
+        #: Path each segment's latest attempt launched on (RTO blame feed
+        #: and the stale-path test that grants resumptions).
+        self.sent_path: list[tuple[str, ...] | None] = [None] * segments
+        #: When this flow first found no route (partition clock), or None.
+        self.route_lost_at: float | None = None
+        #: Attempt-counter resets granted after reroutes (bounded).
+        self.resumptions = 0
+        #: Highest segment index ACKed so far (reorder detection).
+        self.max_acked = -1
 
     def seg_size(self, idx: int) -> int:
         if idx < self.segments - 1:
@@ -244,7 +303,19 @@ class FabricService:
         self._m_admission_stalls = scope.counter("admission_stalls")
         self._m_admission_stall_seconds = scope.counter("admission_stall_seconds")
         self._g_qps = scope.gauge("qps_in_use")
+        rscope = self.sim.telemetry.metrics.scope(f"{name}.reroute")
+        self._m_path_changes = rscope.counter("path_changes")
+        self._m_flows_migrated = rscope.counter("flows_migrated")
+        self._m_no_route_waits = rscope.counter("no_route_waits")
+        self._m_no_route_wait_seconds = rscope.counter("no_route_wait_seconds")
+        self._m_route_lost = rscope.counter("route_lost_flows")
+        self._m_route_restored = rscope.counter("route_restored_flows")
+        self._m_resumptions = rscope.counter("resumptions")
+        self._m_partition_failures = rscope.counter("partition_failures")
+        self._m_rr_dups = rscope.counter("dup_deliveries")
+        self._m_rr_reorders = rscope.counter("reorders")
         self._trace = self.sim.telemetry.trace
+        network.add_route_listener(self._on_routes_changed)
 
     # -- registration ----------------------------------------------------------
 
@@ -288,15 +359,18 @@ class FabricService:
                 name=f"{self.name}.{src}->{dst}",
                 burst_bytes=max(self.config.segment_bytes, 16 * KiB),
             )
-            hops = len(self.net.route(src, dst)) - 1
+            path = self.net.route(src, dst)
             seg_time = self.config.segment_bytes * 8.0 / bottleneck
-            rto_base = self.config.rto_rtts * (base_rtt + hops * seg_time)
+            rto_base = self.config.rto_rtts * (
+                base_rtt + (len(path) - 1) * seg_time
+            )
             pair = _PairState(
                 key,
                 [FabricQp(i) for i in range(self.config.qp_pool_per_pair)],
                 pacer,
                 base_rtt,
                 rto_base,
+                path,
             )
             self._pairs[key] = pair
         return pair
@@ -337,7 +411,27 @@ class FabricService:
 
     def _run_flow(self, ticket: FlowTicket):
         tenant = self.tenants[ticket.tenant]
-        pair = self._pair(ticket.src, ticket.dst)
+        # Pair creation resolves a route; under a full partition there is
+        # none yet.  Poll (deterministically) until the partition deadline,
+        # then fail cleanly instead of crashing the process.
+        deadline = self.sim.now + self.config.partition_deadline
+        while True:
+            try:
+                pair = self._pair(ticket.src, ticket.dst)
+                break
+            except ConfigError:
+                if self.sim.now >= deadline:
+                    self._fail_partitioned(
+                        ticket,
+                        None,
+                        f"no route {ticket.src!r} -> {ticket.dst!r} at "
+                        f"admission for {self.config.partition_deadline}s",
+                    )
+                    return
+                self._m_no_route_waits.inc()
+                wait = self.config.partition_deadline / 8.0
+                self._m_no_route_wait_seconds.inc(wait)
+                yield self.sim.timeout(wait)
         if self._trace.enabled:
             self._trace.instant(
                 "msg_post", cat="fabric", track=f"{self.name}.{ticket.src}",
@@ -365,7 +459,10 @@ class FabricService:
 
         segments = max(1, math.ceil(ticket.nbytes / self.config.segment_bytes))
         state = _FlowState(ticket, pair, qp, segments, self.config.segment_bytes)
+        pair.flows.append(state)
         for idx in range(segments):
+            if ticket.failed:
+                break  # partition deadline expired mid-submission
             wait = self._admission_wait(tenant, state, state.seg_size(idx))
             if wait > 0.0:
                 self._m_admission_stalls.inc()
@@ -379,6 +476,7 @@ class FabricService:
             self._send_segment(state, idx, 0)
         yield ticket.done
 
+        pair.flows.remove(state)
         qp.active -= 1
         if qp.active == 0:
             self._g_qps.add(-1)
@@ -403,6 +501,8 @@ class FabricService:
 
     def _send_segment(self, state: _FlowState, idx: int, attempt: int) -> None:
         ticket = state.ticket
+        if ticket.failed or state.acked[idx]:
+            return
         size = state.seg_size(idx)
         packet = Packet(
             dst_qpn=0,
@@ -416,12 +516,28 @@ class FabricService:
         state.attempt[idx] = attempt
         state.uid[idx] = packet.uid
         sent_at = self.sim.now
-        self.net.send(
-            ticket.src,
-            ticket.dst,
-            packet,
-            lambda pkt: self._on_delivered(state, idx, attempt, sent_at, pkt),
-        )
+        try:
+            path = self.net.send(
+                ticket.src,
+                ticket.dst,
+                packet,
+                lambda pkt: self._on_delivered(state, idx, attempt, sent_at, pkt),
+            )
+        except ConfigError:
+            # Every candidate path crosses an open breaker: no RTO armed
+            # (nothing is in flight), the partition clock runs instead.
+            self._on_no_route(state, idx, attempt)
+            return
+        state.sent_path[idx] = path
+        if state.route_lost_at is not None:
+            state.route_lost_at = None
+            self._m_route_restored.inc()
+            if self._trace.enabled:
+                self._trace.instant(
+                    "route_restored", cat="fabric",
+                    track=f"{self.name}.{ticket.src}",
+                    msg=ticket.seq, chunk=idx,
+                )
         self._m_segments_sent.inc()
         rto = min(state.pair.rto_base * (2.0 ** attempt), 4.0)
         self.sim.call_in(rto, lambda: self._on_rto(state, idx, attempt))
@@ -432,7 +548,12 @@ class FabricService:
         # Runs at the destination host; the ACK rides the control plane
         # back after the reverse path's propagation delay.
         ticket = state.ticket
-        ack_delay = self.net.path_one_way_delay(ticket.dst, ticket.src)
+        try:
+            ack_delay = self.net.path_one_way_delay(ticket.dst, ticket.src)
+        except ConfigError:
+            # No reverse route (partition): the ACK cannot return; the
+            # sender's RTO / partition clock takes it from here.
+            return
         self.sim.call_in(
             ack_delay,
             lambda: self._on_ack(state, idx, attempt, sent_at, packet.ce),
@@ -443,10 +564,17 @@ class FabricService:
     ) -> None:
         if state.acked[idx]:
             self._m_dup_acks.inc()
+            if state.pair.reroutes:
+                # Old-path copy raced the new-path retransmit and both
+                # landed: a reroute-induced duplicate, not a protocol bug.
+                self._m_rr_dups.inc()
             return
         ticket = state.ticket
         if ticket.failed:
             return
+        if idx < state.max_acked and state.pair.reroutes:
+            self._m_rr_reorders.inc()
+        state.max_acked = max(state.max_acked, idx)
         state.acked[idx] = True
         state.remaining -= 1
         size = state.seg_size(idx)
@@ -481,6 +609,12 @@ class FabricService:
         if state.acked[idx] or ticket.failed or state.attempt[idx] != attempt:
             return  # delivered meanwhile, or a newer attempt owns the range
         self.net.abandon(state.uid[idx])
+        sent_path = state.sent_path[idx]
+        if sent_path is not None:
+            # The loss was somewhere along the launch path: feed the edge
+            # health monitor so repeated RTOs trip the breaker even when
+            # the dead edge sees no *other* traffic.
+            self.net.note_rto(sent_path)
         tenant = self.tenants[ticket.tenant]
         tenant.retransmits += 1
         ticket.retransmits += 1
@@ -492,7 +626,25 @@ class FabricService:
             )
         if tenant.spec.compliant:
             state.pair.pacer.on_loss()
-        if attempt + 1 >= self.config.max_attempts:
+        next_attempt = attempt + 1
+        if (
+            sent_path is not None
+            and sent_path != state.pair.path
+            and state.resumptions < self.config.max_resumptions
+        ):
+            # The attempts so far burned on a path that no longer exists;
+            # grant the detour a fresh (bounded) retry budget.
+            state.resumptions += 1
+            next_attempt = 0
+            self._m_resumptions.inc()
+            if self._trace.enabled:
+                self._trace.instant(
+                    "resumption", cat="fabric",
+                    track=f"{self.name}.{ticket.src}",
+                    msg=ticket.seq, chunk=idx,
+                    resumption=state.resumptions,
+                )
+        elif next_attempt >= self.config.max_attempts:
             ticket.failed = True
             ticket.completed = None
             tenant.flows_failed += 1
@@ -502,10 +654,119 @@ class FabricService:
         wait = self._admission_wait(tenant, state, state.seg_size(idx))
         if wait > 0.0:
             self.sim.call_in(
-                wait, lambda: self._send_segment(state, idx, attempt + 1)
+                wait, lambda: self._send_segment(state, idx, next_attempt)
             )
         else:
-            self._send_segment(state, idx, attempt + 1)
+            self._send_segment(state, idx, next_attempt)
+
+    # -- degradation (reroute, partition) --------------------------------------
+
+    def _on_routes_changed(self) -> None:
+        """Route cache was invalidated (a breaker tripped or half-opened).
+
+        Re-resolve every pair's path; on a change, rebind the pair's pacer
+        to the new bottleneck/RTT and emit one ``reroute`` instant per
+        in-flight flow (correlation key: the flow's ``msg`` seq, same key
+        as its ``msg_post``/``fabric_deliver`` instants).
+        """
+        for pair in self._pairs.values():
+            try:
+                path = self.net.route(*pair.key)
+            except ConfigError:
+                # Fully partitioned: keep the stale path for resumption
+                # comparisons; sends will hit the no-route clock.
+                continue
+            if path == pair.path:
+                continue
+            pair.path = path
+            pair.reroutes += 1
+            self._m_path_changes.inc()
+            base_rtt = self.net.path_rtt(*pair.key)
+            bottleneck = self.net.bottleneck_bps(*pair.key)
+            seg_time = self.config.segment_bytes * 8.0 / bottleneck
+            pair.base_rtt = base_rtt
+            pair.rto_base = self.config.rto_rtts * (
+                base_rtt + (len(path) - 1) * seg_time
+            )
+            pair.pacer.rebind(line_rate_bps=bottleneck, base_rtt=base_rtt)
+            migrated = 0
+            for state in pair.flows:
+                if state.ticket.failed or state.remaining == 0:
+                    continue
+                migrated += 1
+                if self._trace.enabled:
+                    self._trace.instant(
+                        "reroute", cat="fabric",
+                        track=f"{self.name}.{state.ticket.src}",
+                        msg=state.ticket.seq,
+                        path="->".join(path),
+                        reroutes=pair.reroutes,
+                    )
+            if migrated:
+                self._m_flows_migrated.inc(migrated)
+
+    def _on_no_route(self, state: _FlowState, idx: int, attempt: int) -> None:
+        ticket = state.ticket
+        now = self.sim.now
+        if state.route_lost_at is None:
+            state.route_lost_at = now
+            self._m_route_lost.inc()
+            if self._trace.enabled:
+                self._trace.instant(
+                    "route_lost", cat="fabric",
+                    track=f"{self.name}.{ticket.src}",
+                    msg=ticket.seq, chunk=idx,
+                )
+        if now - state.route_lost_at >= self.config.partition_deadline:
+            self._fail_flow(
+                state,
+                f"no route {ticket.src!r} -> {ticket.dst!r} for "
+                f"{self.config.partition_deadline}s (partition deadline)",
+            )
+            return
+        self._m_no_route_waits.inc()
+        wait = state.pair.base_rtt
+        self._m_no_route_wait_seconds.inc(wait)
+        self.sim.call_in(
+            wait, lambda: self._send_segment(state, idx, attempt)
+        )
+
+    def _fail_flow(self, state: _FlowState, message: str) -> None:
+        ticket = state.ticket
+        if ticket.failed:
+            return
+        delivered = state.segments - state.remaining
+        error = DeliveryError(
+            message,
+            delivered_chunks=delivered,
+            total_chunks=state.segments,
+            bitmap=np.packbits(
+                np.asarray(state.acked, dtype=bool)
+            ).tobytes(),
+        )
+        self._fail_partitioned(ticket, error, message)
+
+    def _fail_partitioned(
+        self, ticket: FlowTicket, error: DeliveryError | None, message: str
+    ) -> None:
+        if error is None:
+            error = DeliveryError(message, delivered_chunks=0, total_chunks=0)
+        ticket.failed = True
+        ticket.completed = None
+        ticket.error = error
+        tenant = self.tenants[ticket.tenant]
+        tenant.flows_failed += 1
+        self._m_flows_failed.inc()
+        self._m_partition_failures.inc()
+        if self._trace.enabled:
+            self._trace.instant(
+                "delivery_error", cat="fabric",
+                track=f"{self.name}.{ticket.src}",
+                msg=ticket.seq,
+                delivered=error.delivered_chunks,
+                total=error.total_chunks,
+            )
+        ticket.done.succeed()
 
     # -- inspection ------------------------------------------------------------
 
@@ -518,6 +779,26 @@ class FabricService:
     @property
     def completed_flows(self) -> int:
         return sum(1 for t in self.flows if t.completed is not None)
+
+    @property
+    def delivery_errors(self) -> int:
+        """Flows that ended in a partition-deadline ``DeliveryError``."""
+        return sum(1 for t in self.flows if t.error is not None)
+
+    def reroute_stats(self) -> dict[str, float]:
+        """The ``fabric.reroute.*`` counters as a plain dict (CLI JSON)."""
+        return {
+            "path_changes": self._m_path_changes.value,
+            "flows_migrated": self._m_flows_migrated.value,
+            "no_route_waits": self._m_no_route_waits.value,
+            "no_route_wait_seconds": self._m_no_route_wait_seconds.value,
+            "route_lost_flows": self._m_route_lost.value,
+            "route_restored_flows": self._m_route_restored.value,
+            "resumptions": self._m_resumptions.value,
+            "partition_failures": self._m_partition_failures.value,
+            "dup_deliveries": self._m_rr_dups.value,
+            "reorders": self._m_rr_reorders.value,
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

@@ -141,11 +141,20 @@ class FabricTopology:
         except KeyError:
             raise ConfigError(f"no edge {a!r} -> {b!r}") from None
 
-    def shortest_path(self, src: str, dst: str) -> tuple[str, ...]:
+    def shortest_path(
+        self,
+        src: str,
+        dst: str,
+        *,
+        exclude: frozenset[tuple[str, str]] = frozenset(),
+    ) -> tuple[str, ...]:
         """Dijkstra over edge costs; hosts never transit.
 
         Ties break on (cost, hop count, lexicographic path), so routing
         is a pure function of the topology -- no RNG, no dict order.
+        ``exclude`` removes directed edges from consideration (the edge
+        health monitor passes its open-breaker set), so a degraded route
+        is equally a pure function of (topology, excluded set).
         """
         for name in (src, dst):
             if name not in self.nodes:
@@ -165,7 +174,7 @@ class FabricTopology:
             if self.nodes[node].kind == "host" and node != src:
                 continue  # hosts are leaves, never transit
             for nxt in self.neighbors(node):
-                if nxt in path:
+                if nxt in path or (node, nxt) in exclude:
                     continue
                 edge = self.edges[(node, nxt)]
                 ncost = cost + edge.cost
@@ -211,26 +220,49 @@ def two_tier(
     hosts_per_tor: int,
     host_link: ChannelConfig,
     wan_link: ChannelConfig,
+    wan_routers: int = 1,
+    host_uplinks: int = 1,
 ) -> FabricTopology:
-    """``tors`` racks of ``hosts_per_tor`` hosts around one WAN core.
+    """``tors`` racks of ``hosts_per_tor`` hosts around a WAN core.
 
-    Each ToR uplinks to a single ``wan0`` router over its own WAN-profile
-    link; inter-rack traffic crosses two WAN spans.  The shape is the
-    smallest one with distinct intra-rack / WAN profiles and per-rack
-    aggregation contention.
+    Each ToR uplinks to every ``wan{w}`` router over its own WAN-profile
+    link; inter-rack traffic crosses two WAN spans.  The default shape
+    (one core router, single-homed hosts) is the smallest one with
+    distinct intra-rack / WAN profiles and per-rack aggregation
+    contention.  Redundancy knobs exist for survivability experiments:
+
+    * ``wan_routers`` adds parallel core routers (every ToR links to every
+      core), so one core or ToR uplink can die without partitioning.
+    * ``host_uplinks`` multi-homes each host to that many consecutive
+      ToRs (``h{t}-{h}`` connects to ``tor{t}``, ``tor{t+1}``, ... mod
+      ``tors``), so a whole ToR can crash without stranding its rack.
+
+    Names and routing stay identical to the historical shape at the
+    defaults, so existing same-seed runs are unaffected.
     """
     if tors < 1 or hosts_per_tor < 1:
         raise ConfigError("two_tier needs >= 1 tor and >= 1 host per tor")
+    if wan_routers < 1:
+        raise ConfigError(f"need >= 1 WAN router, got {wan_routers}")
+    if not 1 <= host_uplinks <= tors:
+        raise ConfigError(
+            f"host_uplinks must be in [1, tors={tors}], got {host_uplinks}"
+        )
     topo = FabricTopology()
-    topo.add_switch("wan0", kind="wan")
+    for w in range(wan_routers):
+        topo.add_switch(f"wan{w}", kind="wan")
     for t in range(tors):
         tor = f"tor{t}"
         topo.add_switch(tor)
-        topo.add_link(tor, "wan0", wan_link)
+        for w in range(wan_routers):
+            topo.add_link(tor, f"wan{w}", wan_link)
+    # Hosts attach after every ToR exists: multi-homing may wrap to tor0.
+    for t in range(tors):
         for h in range(hosts_per_tor):
             host = f"h{t}-{h}"
             topo.add_host(host)
-            topo.add_link(host, tor, host_link)
+            for up in range(host_uplinks):
+                topo.add_link(host, f"tor{(t + up) % tors}", host_link)
     return topo
 
 
@@ -276,6 +308,8 @@ class FabricNetwork:
         self.channels: dict[tuple[str, str], Channel] = {}
         self._routes: dict[tuple[str, str], tuple[str, ...]] = {}
         self._inflight: dict[int, _Transit] = {}
+        self.health = None  # optional EdgeHealthMonitor (fabric.health)
+        self._route_listeners: list[Callable[[], None]] = []
         for (a, b), edge in sorted(topology.edges.items()):
             channel = Channel(
                 sim,
@@ -293,11 +327,43 @@ class FabricNetwork:
 
     # -- routing ---------------------------------------------------------------
 
+    def set_health(self, monitor) -> None:
+        """Attach an edge-health monitor (see :mod:`repro.fabric.health`).
+
+        From then on routing excludes edges whose breaker is open, and the
+        monitor drives :meth:`routes_changed` on every breaker transition.
+        """
+        self.health = monitor
+
+    def add_route_listener(self, callback: Callable[[], None]) -> None:
+        """Register ``callback()`` fired after every route invalidation."""
+        self._route_listeners.append(callback)
+
+    def invalidate_routes(self) -> None:
+        """Drop every cached path.
+
+        Must be called after any topology mutation (and is called by the
+        edge-health monitor on breaker transitions): the route cache is
+        fill-only, so without invalidation mutated topologies would keep
+        serving stale paths forever.
+        """
+        self._routes.clear()
+
+    def routes_changed(self) -> None:
+        """Invalidate cached routes and notify listeners (service layers
+        re-resolve their per-pair paths and rebind pacers)."""
+        self.invalidate_routes()
+        for callback in self._route_listeners:
+            callback()
+
     def route(self, src: str, dst: str) -> tuple[str, ...]:
         key = (src, dst)
         path = self._routes.get(key)
         if path is None:
-            path = self.topology.shortest_path(src, dst)
+            exclude = (
+                self.health.excluded() if self.health is not None else frozenset()
+            )
+            path = self.topology.shortest_path(src, dst, exclude=exclude)
             self._routes[key] = path
         return path
 
@@ -340,7 +406,16 @@ class FabricNetwork:
         on_deliver: Callable[[Packet], None],
         **meta,
     ) -> tuple[str, ...]:
-        """Launch ``packet`` from host ``src`` toward host ``dst``."""
+        """Launch ``packet`` from host ``src`` toward host ``dst``.
+
+        Raises :class:`ConfigError` when no route currently exists (all
+        candidate paths cross open edges); the caller decides whether to
+        wait for recovery or fail the flow (partition deadline).
+        """
+        if self.health is not None:
+            # Lazy, RNG-free, event-free: the datapath drives breaker
+            # evaluation so a drained simulation still terminates.
+            self.health.on_datapath(self.sim.now)
         path = self.route(src, dst)
         self._inflight[packet.uid] = _Transit(
             path=path,
@@ -357,6 +432,16 @@ class FabricNetwork:
         the byte range now).  A late copy that still arrives is dropped at
         the next hop instead of delivered twice."""
         self._inflight.pop(uid, None)
+
+    def note_rto(self, path: tuple[str, ...]) -> None:
+        """Feed a service-layer RTO into edge health (no-op unmonitored).
+
+        The loss happened *somewhere* along ``path``; the monitor spreads
+        a diluted penalty over its edges, mirroring the recovery plane's
+        packet-spray attribution.
+        """
+        if self.health is not None:
+            self.health.note_rto(path)
 
     @property
     def inflight_count(self) -> int:

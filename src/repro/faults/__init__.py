@@ -10,13 +10,16 @@ byte-identical.  See ``docs/robustness.md``.
 from repro.faults.channel import FaultyChannel, packet_class
 from repro.faults.inject import (
     install_dpa_faults,
+    install_edge_faults,
     install_link_faults,
     link_faults,
+    uninstall_edge_faults,
     uninstall_link_faults,
 )
 from repro.faults.schedule import (
     CHANNEL_KINDS,
     DPA_KINDS,
+    FABRIC_KINDS,
     NAMED_SCHEDULES,
     FaultSchedule,
     FaultWindow,
@@ -26,14 +29,17 @@ from repro.faults.schedule import (
 __all__ = [
     "CHANNEL_KINDS",
     "DPA_KINDS",
+    "FABRIC_KINDS",
     "NAMED_SCHEDULES",
     "FaultSchedule",
     "FaultWindow",
     "FaultyChannel",
     "install_dpa_faults",
+    "install_edge_faults",
     "install_link_faults",
     "link_faults",
     "named_schedule",
     "packet_class",
+    "uninstall_edge_faults",
     "uninstall_link_faults",
 ]

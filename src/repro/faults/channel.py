@@ -168,6 +168,11 @@ class FaultyChannel:
                 )
 
     def _mark(self, name: str, w) -> None:
+        # Checked at fire time, not schedule time: a wrapper disarmed after
+        # construction must leave the trace byte-identical to a fault-free
+        # run (the "chaos plane constructed but disarmed" regression).
+        if not self._armed:
+            return
         if self._trace.enabled:
             extra = {} if w.plane is None else {"plane": w.plane}
             self._trace.instant(
@@ -187,7 +192,7 @@ class FaultyChannel:
         self._tx_windows = tuple(
             w
             for w in self.schedule.active_channel(self.sim.now, cls)
-            if w.kind in ("blackout", "brownout")
+            if w.kind in ("blackout", "brownout", "edge_down")
         )
         # Stash the in-flight packet so a loss-override drop decided inside
         # the inner channel (``_note_fault_drop``) can carry its lineage key.
@@ -204,7 +209,7 @@ class FaultyChannel:
         for w in self._tx_windows:
             if not w.matches_plane(plane):
                 continue
-            if w.kind == "blackout":
+            if w.kind in ("blackout", "edge_down"):
                 p = 1.0
             else:
                 p = max(p or 0.0, w.drop_probability)

@@ -85,7 +85,7 @@ def install_link_faults(
     return fwd, rev
 
 
-def uninstall_link_faults(fabric, a, b) -> None:
+def uninstall_link_faults(fabric, a, b) -> bool:
     """Undo :func:`install_link_faults` on the ``a`` <-> ``b`` link.
 
     The original channels go back into the device link tables (so future
@@ -94,6 +94,9 @@ def uninstall_link_faults(fabric, a, b) -> None:
     connected while faults were installed cached the wrapper object, and
     a disarmed wrapper is a pure passthrough.  Subsequent traffic is
     fault-free either way.
+
+    Idempotent: returns ``True`` when a fault plane was removed, ``False``
+    when the link had none (so chaos teardown can be unconditional).
     """
     key, link, flipped = _link_lookup(fabric, a, b)
     if isinstance(link, DuplexLink):
@@ -103,9 +106,7 @@ def uninstall_link_faults(fabric, a, b) -> None:
     if flipped:
         fwd, rev = rev, fwd
     if not (isinstance(fwd, FaultyChannel) and isinstance(rev, FaultyChannel)):
-        raise ConfigError(
-            f"link {a.name}<->{b.name} has no fault injection installed"
-        )
+        return False
     fwd.disarm()
     rev.disarm()
     inner_fwd, inner_rev = fwd.inner, rev.inner
@@ -116,6 +117,7 @@ def uninstall_link_faults(fabric, a, b) -> None:
         link.forward, link.reverse = stored
     else:
         fabric.links[key] = stored
+    return True
 
 
 @contextlib.contextmanager
@@ -137,6 +139,66 @@ def link_faults(
         yield wrappers
     finally:
         uninstall_link_faults(fabric, a, b)
+
+
+def install_edge_faults(
+    network,
+    u: str,
+    v: str,
+    schedule: FaultSchedule,
+    *,
+    schedule_rev: FaultSchedule | None = None,
+) -> tuple[FaultyChannel, FaultyChannel]:
+    """Wrap one :class:`~repro.fabric.topology.FabricNetwork` link in the
+    fault plane.
+
+    Both directed channels of the ``u`` <-> ``v`` topology edge are swapped
+    for :class:`FaultyChannel` wrappers in ``network.channels``; because
+    the network looks the channel dict up at **every** hop (launch and
+    relay), the swap takes effect immediately for in-flight and future
+    packets alike.  ``schedule`` drives ``u`` -> ``v``; ``schedule_rev``
+    the reverse (defaults to the same schedule -- a fiber cut severs both
+    directions).  Returns the (forward, reverse) wrappers.
+    """
+    fwd_key, rev_key = (u, v), (v, u)
+    for a, b in (fwd_key, rev_key):
+        if (a, b) not in network.channels:
+            raise ConfigError(f"no edge {a!r} -> {b!r}")
+    if isinstance(network.channels[fwd_key], FaultyChannel) or isinstance(
+        network.channels[rev_key], FaultyChannel
+    ):
+        raise ConfigError(f"edge {u!r} <-> {v!r} already has fault injection")
+    fwd = FaultyChannel(
+        network.channels[fwd_key],
+        schedule,
+        rng=network.streams.get(f"faults.edge.{u}->{v}"),
+    )
+    rev = FaultyChannel(
+        network.channels[rev_key],
+        schedule if schedule_rev is None else schedule_rev,
+        rng=network.streams.get(f"faults.edge.{v}->{u}"),
+    )
+    network.channels[fwd_key] = fwd
+    network.channels[rev_key] = rev
+    return fwd, rev
+
+
+def uninstall_edge_faults(network, u: str, v: str) -> bool:
+    """Undo :func:`install_edge_faults` on the ``u`` <-> ``v`` edge.
+
+    Idempotent: disarms and unwraps any installed wrappers and returns
+    ``True``; returns ``False`` when the edge carries no fault plane.
+    """
+    removed = False
+    for key in ((u, v), (v, u)):
+        channel = network.channels.get(key)
+        if channel is None:
+            raise ConfigError(f"no edge {key[0]!r} -> {key[1]!r}")
+        if isinstance(channel, FaultyChannel):
+            channel.disarm()
+            network.channels[key] = channel.inner
+            removed = True
+    return removed
 
 
 def install_dpa_faults(sim, engine, schedule: FaultSchedule) -> int:

@@ -21,6 +21,10 @@ kind                effect while ``start <= now < end``
 ``dpa_stall``       DPA worker ``worker`` processes no CQEs inside the window
 ``dpa_crash``       DPA worker ``worker`` dies at ``start``; its completion
                     queues fail over to surviving workers
+``edge_down``       hard blackout of one fabric link: both directed channels
+                    of topology edge ``edge`` drop every packet (fiber cut)
+``node_crash``      every edge incident to fabric node ``node`` goes dark for
+                    the window (a ToR/WAN router crash)
 ==================  =========================================================
 
 ``selector`` makes channel faults *asymmetric*: ``"control"`` hits only
@@ -44,12 +48,20 @@ import numpy as np
 from repro.common.errors import ConfigError
 
 #: Channel-plane fault kinds (handled by :class:`repro.faults.FaultyChannel`).
+#: ``edge_down`` executes as a hard blackout once installed on a channel.
 CHANNEL_KINDS = frozenset(
-    {"blackout", "brownout", "delay_spike", "reorder", "duplicate", "corrupt"}
+    {
+        "blackout", "brownout", "delay_spike", "reorder", "duplicate",
+        "corrupt", "edge_down",
+    }
 )
 #: DPA-plane fault kinds (handled by :func:`repro.faults.install_dpa_faults`).
 DPA_KINDS = frozenset({"dpa_stall", "dpa_crash"})
-KINDS = CHANNEL_KINDS | DPA_KINDS
+#: Fabric-addressed fault kinds: windows that name a topology edge or node
+#: (handled by :func:`repro.fabric.chaos.install_fabric_faults`, which
+#: translates them into per-edge ``edge_down`` channel windows).
+FABRIC_KINDS = frozenset({"edge_down", "node_crash"})
+KINDS = CHANNEL_KINDS | DPA_KINDS | FABRIC_KINDS
 
 SELECTORS = ("all", "control", "data")
 
@@ -80,6 +92,12 @@ class FaultWindow:
     #: plane; installing a plane-scoped window on a non-bonded link is a
     #: :class:`ConfigError`.
     plane: int | None = None
+    #: Target fabric link for ``edge_down`` in a fabric-level schedule
+    #: (``(u, v)`` node names; both directed channels go dark).  ``None``
+    #: when the window is already installed on a specific edge channel.
+    edge: tuple[str, str] | None = None
+    #: Target fabric node for ``node_crash`` (every incident edge dies).
+    node: str | None = None
 
     def __post_init__(self) -> None:
         if self.kind not in KINDS:
@@ -117,6 +135,25 @@ class FaultWindow:
                 )
             if self.plane < 0:
                 raise ConfigError(f"plane index must be >= 0, got {self.plane}")
+        if self.edge is not None:
+            if self.kind != "edge_down":
+                raise ConfigError(
+                    f"edge target only applies to edge_down, not {self.kind!r}"
+                )
+            object.__setattr__(self, "edge", tuple(self.edge))
+            if len(self.edge) != 2 or not all(self.edge):
+                raise ConfigError(
+                    f"edge must be a (u, v) pair of node names, got {self.edge!r}"
+                )
+            if self.edge[0] == self.edge[1]:
+                raise ConfigError(f"edge endpoints must differ, got {self.edge!r}")
+        if self.kind == "node_crash":
+            if not self.node:
+                raise ConfigError("node_crash windows need a target node")
+        elif self.node is not None:
+            raise ConfigError(
+                f"node target only applies to node_crash, not {self.kind!r}"
+            )
 
     def active(self, now: float) -> bool:
         return self.start <= now < self.end
@@ -155,6 +192,16 @@ class FaultSchedule:
     @property
     def dpa_windows(self) -> tuple[FaultWindow, ...]:
         return tuple(w for w in self.windows if w.kind in DPA_KINDS)
+
+    @property
+    def fabric_windows(self) -> tuple[FaultWindow, ...]:
+        """Windows that address the fabric graph (``edge`` / ``node``
+        targets) rather than one pre-resolved channel."""
+        return tuple(
+            w
+            for w in self.windows
+            if w.kind == "node_crash" or (w.kind == "edge_down" and w.edge)
+        )
 
     def active_channel(
         self, now: float, packet_class: str

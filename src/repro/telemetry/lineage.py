@@ -33,6 +33,9 @@ Attribution categories
 ``decode``          EC decode CPU time on the receiver
 ``recovery``        idle, ended by a resumption event (resume request /
                     grant / re-post -- see ``repro.recovery``)
+``reroute_wait``    idle, ended by a fabric reroute event (path change,
+                    route restoration or a reroute-granted attempt reset
+                    -- see ``repro.fabric.health`` / ``chaos``)
 ``cc_wait``         idle, ended by a congestion-control pacing stall
                     (the sender chose to wait -- see ``repro.cc``)
 ``ack_wait``        trailing propagation + final-ACK return (>= RTT/2)
@@ -71,6 +74,7 @@ ATTRIBUTION_CATEGORIES = (
     "loss_recovery",
     "decode",
     "recovery",
+    "reroute_wait",
     "cc_wait",
     "ack_wait",
     "other",
@@ -83,6 +87,11 @@ _NACK_TRIGGERS = frozenset({"nack_retx", "gap_nack", "ec_nack", "sr_fallback"})
 _RECOVERY_TRIGGERS = frozenset(
     {"resume_begin", "resume_grant", "resume_post", "recv_abandon"}
 )
+
+#: Events that mark a fabric reroute trigger (blamed on ``reroute_wait``):
+#: the pair's path changed under the flow, a lost route came back, or the
+#: reroute granted the segment a fresh attempt budget.
+_REROUTE_TRIGGERS = frozenset({"reroute", "route_restored", "resumption"})
 
 #: Events that mark a congestion-control pacing stall (``repro.cc`` emits
 #: them on wake, i.e. at the *end* of the idle gap they explain).
@@ -298,6 +307,7 @@ class LineageAnalyzer:
             if name == "rto_fire"
             or name in _NACK_TRIGGERS
             or name in _RECOVERY_TRIGGERS
+            or name in _REROUTE_TRIGGERS
             or name in _CC_TRIGGERS
         ]
         last_busy_end = max((end for _, end, _ in busy), default=rec.posted)
@@ -315,13 +325,17 @@ class LineageAnalyzer:
                 cat = "ack_wait"
             else:
                 # Idle gap in the middle: blame the trigger that ends it
-                # (recovery outranks RTO outranks NACK outranks pacing: a
-                # resume gap contains the RTO that provoked it, and a stall
-                # coinciding with a retransmit trigger is a symptom of the
-                # loss, not of the pacer).
+                # (recovery outranks reroute outranks RTO outranks NACK
+                # outranks pacing: a resume gap contains the RTO that
+                # provoked it, a reroute-ended gap contains the RTOs the
+                # dead path caused, and a stall coinciding with a
+                # retransmit trigger is a symptom of the loss, not of the
+                # pacer).
                 ending = [name for ts, name in triggers if lo < ts <= hi]
                 if any(n in _RECOVERY_TRIGGERS for n in ending):
                     cat = "recovery"
+                elif any(n in _REROUTE_TRIGGERS for n in ending):
+                    cat = "reroute_wait"
                 elif any(n == "rto_fire" for n in ending):
                     cat = "rto_wait"
                 elif any(n in _NACK_TRIGGERS for n in ending):

@@ -195,3 +195,54 @@ class TestFactory:
     def test_unknown_rejected(self):
         with pytest.raises(ConfigError):
             make_controller("cubic", line_rate_bps=100 * GBPS, base_rtt=1e-3)
+
+
+class TestRebind:
+    """Mid-transfer reroute: controllers re-anchor to the new path."""
+
+    def test_unpaced_static_stays_unpaced(self):
+        c = StaticRateController()
+        c.rebind(line_rate_bps=10 * GBPS, base_rtt=1e-3)
+        assert c.rate_bps is None
+        assert c.line_rate_bps is None
+
+    def test_static_rate_clamps_to_new_line(self):
+        c = StaticRateController(10 * GBPS)
+        c.rebind(line_rate_bps=4 * GBPS, base_rtt=1e-3)
+        assert c.rate_bps == 4 * GBPS
+        # Rebinding to a faster path never inflates the current rate.
+        c.rebind(line_rate_bps=40 * GBPS, base_rtt=1e-3)
+        assert c.rate_bps == 4 * GBPS
+
+    def test_swift_preserves_fractions(self):
+        c = SwiftController(line_rate_bps=100 * GBPS, base_rtt=1e-3)
+        target_rtts = c.target_delay / c.cut_interval
+        c.rebind(line_rate_bps=10 * GBPS, base_rtt=4e-3)
+        assert c.line_rate_bps == 10 * GBPS
+        assert c.rate_bps == 10 * GBPS  # clamped into the new envelope
+        assert c.cut_interval == 4e-3
+        # The *relative* delay target carries over to the new RTT scale.
+        assert c.target_delay / c.cut_interval == pytest.approx(target_rtts)
+
+    def test_swift_learned_rate_survives_upward_rebind(self):
+        c = SwiftController(line_rate_bps=100 * GBPS, base_rtt=1e-3)
+        c.on_loss(now=1.0)  # learn congestion: rate drops below line
+        learned = c.rate_bps
+        assert learned < 100 * GBPS
+        c.rebind(line_rate_bps=200 * GBPS, base_rtt=1e-3)
+        assert c.rate_bps == learned  # not reset to the new line rate
+
+    def test_dcqcn_clamps_rate_and_target(self):
+        c = DcqcnController(line_rate_bps=100 * GBPS)
+        c.rebind(line_rate_bps=10 * GBPS, base_rtt=2e-3)
+        assert c.line_rate_bps == 10 * GBPS
+        assert c.rate_bps == 10 * GBPS
+        assert c.target_rate_bps == 10 * GBPS
+        assert c.cut_interval == 2e-3
+
+    def test_rebind_validation(self):
+        c = SwiftController(line_rate_bps=100 * GBPS, base_rtt=1e-3)
+        with pytest.raises(ConfigError):
+            c.rebind(line_rate_bps=0.0, base_rtt=1e-3)
+        with pytest.raises(ConfigError):
+            c.rebind(line_rate_bps=10 * GBPS, base_rtt=0.0)

@@ -215,3 +215,91 @@ class TestNetwork:
         a, b = run(0), run(0)
         assert a == b
         assert 0 < a < 200  # loss actually happened, deterministically
+
+class TestRedundantShapes:
+    def test_wan_routers_mesh_every_tor(self):
+        topo = two_tier(
+            tors=2, hosts_per_tor=1, host_link=HOST, wan_link=WAN,
+            wan_routers=3,
+        )
+        for t in range(2):
+            for w in range(3):
+                assert (f"tor{t}", f"wan{w}") in topo.edges
+        # Lexicographic tie-break keeps wan0 the default core.
+        assert topo.shortest_path("h0-0", "h1-0") == (
+            "h0-0", "tor0", "wan0", "tor1", "h1-0"
+        )
+
+    def test_host_uplinks_multi_home_consecutive_tors(self):
+        topo = two_tier(
+            tors=3, hosts_per_tor=1, host_link=HOST, wan_link=WAN,
+            host_uplinks=2,
+        )
+        # h1-0 homes to tor1 and tor2 (consecutive, mod tors).
+        assert topo.neighbors("h1-0") == ["tor1", "tor2"]
+        assert topo.neighbors("h2-0") == ["tor0", "tor2"]  # wraps
+
+    def test_defaults_keep_historical_shape(self):
+        single = two_tier(
+            tors=2, hosts_per_tor=2, host_link=HOST, wan_link=WAN
+        )
+        knobbed = two_tier(
+            tors=2, hosts_per_tor=2, host_link=HOST, wan_link=WAN,
+            wan_routers=1, host_uplinks=1,
+        )
+        assert sorted(single.edges) == sorted(knobbed.edges)
+
+    def test_redundancy_validation(self):
+        with pytest.raises(ConfigError, match="WAN router"):
+            two_tier(
+                tors=2, hosts_per_tor=1, host_link=HOST, wan_link=WAN,
+                wan_routers=0,
+            )
+        with pytest.raises(ConfigError, match="host_uplinks"):
+            two_tier(
+                tors=2, hosts_per_tor=1, host_link=HOST, wan_link=WAN,
+                host_uplinks=3,
+            )
+
+
+class TestRouteCacheAndExclusion:
+    def make(self):
+        topo = two_tier(
+            tors=2, hosts_per_tor=1, host_link=HOST, wan_link=WAN,
+            wan_routers=2,
+        )
+        sim = Simulator()
+        return sim, FabricNetwork(sim, topo)
+
+    def test_exclude_detours_and_exhausts(self):
+        _, net = self.make()
+        topo = net.topology
+        primary = topo.shortest_path("h0-0", "h1-0")
+        assert primary == ("h0-0", "tor0", "wan0", "tor1", "h1-0")
+        detour = topo.shortest_path(
+            "h0-0", "h1-0", exclude=frozenset({("tor0", "wan0")})
+        )
+        assert detour == ("h0-0", "tor0", "wan1", "tor1", "h1-0")
+        with pytest.raises(ConfigError, match="no route"):
+            topo.shortest_path(
+                "h0-0", "h1-0",
+                exclude=frozenset({("tor0", "wan0"), ("tor0", "wan1")}),
+            )
+
+    def test_invalidate_routes_drops_cache(self):
+        _, net = self.make()
+        path = net.route("h0-0", "h1-0")
+        assert net._routes[("h0-0", "h1-0")] == path  # fill-only cache
+        net.invalidate_routes()
+        assert net._routes == {}
+        assert net.route("h0-0", "h1-0") == path  # recomputed, same graph
+
+    def test_routes_changed_notifies_listeners(self):
+        _, net = self.make()
+        net.route("h0-0", "h1-0")
+        fired = []
+        net.add_route_listener(lambda: fired.append(len(net._routes)))
+        net.routes_changed()
+        net.routes_changed()
+        # Listeners run after invalidation (they re-resolve fresh paths).
+        assert fired == [0, 0]

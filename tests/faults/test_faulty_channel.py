@@ -228,13 +228,12 @@ class TestUninstall:
         orig_fwd, orig_rev = link.forward, link.reverse
         install_link_faults(fabric, a, b, sched)
         assert fabric.links[("a", "b")].forward is not orig_fwd
-        uninstall_link_faults(fabric, a, b)
+        assert uninstall_link_faults(fabric, a, b) is True
         assert fabric.links[("a", "b")].forward is orig_fwd
         assert fabric.links[("a", "b")].reverse is orig_rev
         assert a.link_to("b") is orig_fwd
-        # A second uninstall has nothing to remove.
-        with pytest.raises(ConfigError):
-            uninstall_link_faults(fabric, a, b)
+        # Idempotent: a second uninstall has nothing to remove.
+        assert uninstall_link_faults(fabric, a, b) is False
 
     def test_traffic_is_fault_free_after_uninstall(self):
         """QPs that cached the wrapper keep working: a disarmed wrapper is

@@ -1,5 +1,7 @@
 """CLI entry points."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -180,6 +182,51 @@ class TestExperiments:
 
     def test_experiments_unknown_figure(self, capsys):
         assert main(["experiments", "fig99"]) == 2
+
+
+class TestFabricChaos:
+    def test_chaos_survival_gate_passes(self, capsys):
+        assert main(
+            ["fabric", "--chaos", "tor_crash", "--min-survival", "0.99"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Fabric chaos: tor_crash" in out
+        assert "Non-closed breakers" in out
+
+    def test_chaos_json_payload(self, tmp_path):
+        path = tmp_path / "chaos.json"
+        assert main(
+            ["fabric", "--chaos", "wan_flap", "--json", str(path)]
+        ) == 0
+        payload = json.loads(path.read_text())
+        assert payload["preset"] == "chaos"
+        assert payload["schedule"] == "wan_flap"
+        assert payload["survival"] >= 0.99
+        assert payload["reroute"]["path_changes"] > 0
+        assert payload["edge_health"]["breaker_opens"] > 0
+        assert payload["digest"]
+
+    def test_chaos_static_routing_fails_gate(self, capsys):
+        assert main(
+            ["fabric", "--chaos", "tor_crash", "--no-health",
+             "--min-survival", "0.99"]
+        ) == 1
+        err = capsys.readouterr().err
+        assert "below required" in err
+
+    def test_chaos_partition_exempt_from_delivery_error_gate(self, capsys):
+        # A true partition ends flows in DeliveryError by design; without
+        # --min-survival that is not a failure.
+        assert main(["fabric", "--chaos", "fabric_partition"]) == 0
+
+    def test_chaos_unknown_schedule_clean_error(self, capsys):
+        assert main(["fabric", "--chaos", "solar-flare"]) == 2
+        assert "unknown fabric chaos schedule" in capsys.readouterr().err
+
+    def test_chaos_lineage_table(self, capsys):
+        assert main(["fabric", "--chaos", "wan_flap", "--lineage"]) == 0
+        out = capsys.readouterr().out
+        assert "reroute_wait" in out
 
 
 class TestParser:
