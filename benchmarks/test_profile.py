@@ -1,0 +1,111 @@
+"""DES self-profiler baselines: ``BENCH_profile_<scenario>.json``.
+
+These benchmarks answer the ROADMAP's "where does engine wall-clock time
+actually go?" question with data: each runs a representative scenario
+under a :class:`~repro.sim.profile.SimProfiler` and writes the profiler's
+attribution report to ``$REPRO_BENCH_DIR/BENCH_profile_<scenario>.json``
+(the ``BENCH_profile_*`` naming is what the CI ``profile-smoke`` job
+collects).  The events/sec floor assertions are deliberately loose --
+an order of magnitude below what a cold CI runner measures -- so they
+catch a 10x engine regression, not scheduler jitter.
+
+Two scenarios bracket the engine's regimes:
+
+* ``incast``: one congested channel, few actors, RTO/retransmit churn --
+  the per-event cost of the packet path.
+* ``fabric_scale``: hundreds of tenants multiplexed over a two-tier
+  topology -- the flow/QP bookkeeping path the fast-path work targets.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from conftest import show
+
+from repro.sim.profile import SimProfiler
+from repro.telemetry import Telemetry
+
+#: Conservative floor: real runs measure well above 10x this.
+MIN_EVENTS_PER_SECOND = 5_000.0
+
+
+def _write_profile(scenario: str, payload: dict) -> str:
+    out_dir = os.environ.get("REPRO_BENCH_DIR", "bench-results")
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, f"BENCH_profile_{scenario}.json")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump({"scenario": scenario, **payload}, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def _profiled_run(scenario: str, fn) -> dict:
+    """Run ``fn(telemetry)`` once under a profiler; write + sanity-check."""
+    profiler = SimProfiler()
+    telemetry = Telemetry(profiler=profiler)
+    start = time.perf_counter()
+    fn(telemetry)
+    wall = time.perf_counter() - start
+    report = profiler.report(wall_seconds=wall)
+    path = _write_profile(scenario, report)
+    show(profiler.table())
+    print(f"profile written to {path}")
+
+    assert report["events"] > 0, "profiler saw no events"
+    assert report["sim_seconds"] > 0
+    assert report["handler_seconds"] <= report["wall_seconds"]
+    assert report["events_per_second"] >= MIN_EVENTS_PER_SECOND, (
+        f"{scenario}: {report['events_per_second']:.0f} events/s is below "
+        f"the {MIN_EVENTS_PER_SECOND:.0f} floor -- engine regression?"
+    )
+    # Attribution must point at simulation code, not engine plumbing.
+    assert any(
+        c["category"].startswith("repro.") for c in report["categories"]
+    ), report["categories"][:3]
+    return report
+
+
+def test_profile_incast(benchmark):
+    from repro.cc.incast import run_incast
+
+    def run(telemetry):
+        return run_incast(
+            senders=8, cc="swift", messages_per_sender=8, seed=0,
+            telemetry=telemetry,
+        )
+
+    report = _profiled_run("incast", lambda t: benchmark.pedantic(
+        run, args=(t,), iterations=1, rounds=1
+    ))
+    top = report["categories"][0]
+    # The incast regime is packet-path bound: the hottest category should
+    # dwarf the long tail (sanity that attribution is not uniform noise).
+    assert top["share"] > 0.05
+
+
+def test_profile_fabric_scale(benchmark):
+    from repro.fabric import ScaleConfig, scale_scenario
+
+    config = ScaleConfig(
+        tenants=200,
+        duration=0.01,
+        offered_load_bps=60e9,
+        tors=2,
+        hosts_per_tor=2,
+        seed=0,
+    )
+
+    def run(telemetry):
+        result = scale_scenario(config, telemetry=telemetry)
+        assert result.completed + result.failed == result.messages
+        return result
+
+    report = _profiled_run("fabric_scale", lambda t: benchmark.pedantic(
+        run, args=(t,), iterations=1, rounds=1
+    ))
+    # Flow bookkeeping must show up by name in the hot set.
+    names = " ".join(c["category"] for c in report["categories"][:12])
+    assert "repro.fabric" in names, names

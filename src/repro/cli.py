@@ -14,6 +14,8 @@ Commands:
   a per-message completion-time attribution table.
 * ``explain``     -- replay a JSONL trace into per-message timelines with
   completion-time blame (see :mod:`repro.telemetry.lineage`).
+* ``top``         -- render ASCII sparklines of a recorded JSONL trace's
+  counter/instant series (cc rate, backlog, SLO burns, ...).
 * ``fabric``      -- run a multi-tenant fairness/isolation or open-loop
   scale experiment on the ``repro.fabric`` RDMA-as-a-service layer and
   report per-tenant goodput and completion-time tails.
@@ -171,6 +173,31 @@ def cmd_campaign(args) -> int:
     return 0
 
 
+def _write_metrics_json(path: str, registry, meta: dict) -> None:
+    """The uniform ``--metrics-json`` shape shared by report/chaos/fabric:
+    ``{"meta": <command context>, "metrics": <full registry snapshot>}``."""
+    import json
+    import os
+
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(
+            {"meta": meta, "metrics": registry.snapshot()},
+            fh, indent=2, sort_keys=True,
+        )
+        fh.write("\n")
+    print(f"Metrics JSON written to {path}")
+
+
+def _export_openmetrics(path: str, registry) -> None:
+    from repro.telemetry import write_openmetrics
+
+    samples = write_openmetrics(registry, path)
+    print(f"OpenMetrics written to {path} ({samples} samples)")
+
+
 def _lineage_section(ring) -> str:
     """Render the Lineage section for ``report`` / ``chaos`` output."""
     from repro.telemetry.lineage import LineageAnalyzer
@@ -239,6 +266,17 @@ def cmd_report(args) -> int:
         written = jsonl.events_written
         jsonl.close()
         print(f"JSONL trace written to {args.trace_jsonl} ({written} events)")
+    if args.metrics_json:
+        _write_metrics_json(args.metrics_json, result.telemetry.metrics, {
+            "command": "report",
+            "protocol": result.protocol,
+            "seed": args.seed,
+            "messages": result.messages,
+            "elapsed_s": result.elapsed,
+            "goodput_gbps": result.goodput_gbps,
+        })
+    if args.openmetrics:
+        _export_openmetrics(args.openmetrics, result.telemetry.metrics)
     return 0
 
 
@@ -344,26 +382,16 @@ def cmd_chaos(args) -> int:
         jsonl.close()
         print(f"\nJSONL trace written to {args.trace_jsonl} ({written} events)")
     if args.metrics_json:
-        import json
-        import os
-
-        parent = os.path.dirname(args.metrics_json)
-        if parent:
-            os.makedirs(parent, exist_ok=True)
-        with open(args.metrics_json, "w", encoding="utf-8") as fh:
-            json.dump(
-                {
-                    "schedule": schedule.name,
-                    "protocol": result.protocol,
-                    "seed": args.seed,
-                    "messages": result.messages,
-                    "failed_writes": result.failed_writes,
-                    "recovery": result.telemetry.metrics.snapshot("recovery"),
-                },
-                fh, indent=2, sort_keys=True,
-            )
-            fh.write("\n")
-        print(f"Metrics JSON written to {args.metrics_json}")
+        _write_metrics_json(args.metrics_json, result.telemetry.metrics, {
+            "command": "chaos",
+            "schedule": schedule.name,
+            "protocol": result.protocol,
+            "seed": args.seed,
+            "messages": result.messages,
+            "failed_writes": result.failed_writes,
+        })
+    if args.openmetrics:
+        _export_openmetrics(args.openmetrics, result.telemetry.metrics)
     if args.recover and result.failed_writes:
         print(
             f"error: {result.failed_writes} write(s) still failed "
@@ -399,6 +427,58 @@ def cmd_explain(args) -> int:
     return 0
 
 
+def cmd_top(args) -> int:
+    from repro.telemetry import JsonlSink
+    from repro.telemetry.top import top_table
+
+    events = JsonlSink.read(args.trace)
+    table = top_table(
+        events,
+        width=args.width,
+        limit=args.limit,
+        match=args.match,
+        instants=not args.no_instants,
+    )
+    print(table.render())
+    return 0
+
+
+def _slo_json(summary) -> dict | None:
+    """SLO compliance as a JSON-ready dict (None when not armed)."""
+    if summary is None:
+        return None
+    return {
+        "compliant": summary.compliant,
+        "burn_windows": summary.burn_windows,
+        "windows_evaluated": summary.windows_evaluated,
+        "rows": [
+            {
+                "tenant": r.tenant,
+                "sli": r.sli,
+                "target": r.target,
+                "value": r.value,
+                "burn_windows": r.burn_windows,
+                "compliant": r.compliant,
+            }
+            for r in summary.rows
+        ],
+    }
+
+
+def _slo_gate(summary, status: int) -> int:
+    """Print the compliance table; escalate ``status`` on violations."""
+    print()
+    print(summary.table().render())
+    if not summary.compliant:
+        print(
+            f"error: {len(summary.violations)} tenant-SLI(s) out of "
+            f"compliance ({summary.burn_windows} burning windows)",
+            file=sys.stderr,
+        )
+        return 1
+    return status
+
+
 def _fabric_json(path: str, payload: dict) -> None:
     import json
     import os
@@ -429,7 +509,7 @@ def _tenant_rows(reports) -> list[dict]:
     ]
 
 
-def _cmd_fabric_chaos(args, telemetry, ring) -> int:
+def _cmd_fabric_chaos(args, telemetry, ring, slo) -> int:
     from repro.fabric import ChaosConfig, chaos_scenario, lineage_tenant_table
 
     config = ChaosConfig(
@@ -438,7 +518,7 @@ def _cmd_fabric_chaos(args, telemetry, ring) -> int:
         cc=args.cc,
         health=not args.no_health,
     )
-    result = chaos_scenario(config, telemetry=telemetry)
+    result = chaos_scenario(config, telemetry=telemetry, slo=slo)
     summary = Table(
         title=(
             f"Fabric chaos: {config.schedule}, cc={config.cc}, "
@@ -491,8 +571,22 @@ def _cmd_fabric_chaos(args, telemetry, ring) -> int:
             "reroute": result.reroute,
             "edge_health": result.edge_health,
             "breaker_states": result.breaker_states,
+            "slo": _slo_json(result.slo),
         })
+    if args.metrics_json:
+        _write_metrics_json(args.metrics_json, telemetry.metrics, {
+            "command": "fabric",
+            "preset": "chaos",
+            "schedule": config.schedule,
+            "seed": config.seed,
+            "cc": config.cc,
+            "digest": result.digest,
+        })
+    if args.openmetrics:
+        _export_openmetrics(args.openmetrics, telemetry.metrics)
     status = 0
+    if result.slo is not None:
+        status = _slo_gate(result.slo, status)
     if args.min_survival is not None and result.survival < args.min_survival:
         print(
             f"error: survival {result.survival:.4f} below required "
@@ -513,6 +607,41 @@ def _cmd_fabric_chaos(args, telemetry, ring) -> int:
 
 
 def cmd_fabric(args) -> int:
+    from repro.telemetry import JsonlSink, RingBufferSink, SloConfig, Telemetry
+
+    ring = None
+    jsonl = None
+    sinks = []
+    if args.lineage:
+        if args.preset == "scale":
+            raise ConfigError("--lineage traces are too large at scale")
+        ring = RingBufferSink(capacity=1 << 20)
+        sinks.append(ring)
+    if args.trace_jsonl:
+        jsonl = JsonlSink(args.trace_jsonl)
+        sinks.append(jsonl)
+    if sinks:
+        telemetry = Telemetry(trace=True, trace_sinks=sinks)
+    elif args.metrics_json or args.openmetrics:
+        # The scenario builds its own simulator; hand it a registry we
+        # keep a handle on so the exporters can read it afterwards.
+        telemetry = Telemetry()
+    else:
+        telemetry = None
+    slo = SloConfig(window=args.slo_window) if args.slo else None
+    try:
+        return _cmd_fabric_dispatch(args, telemetry, ring, slo)
+    finally:
+        if jsonl is not None:
+            written = jsonl.events_written
+            jsonl.close()
+            print(
+                f"JSONL trace written to {args.trace_jsonl} "
+                f"({written} events)"
+            )
+
+
+def _cmd_fabric_dispatch(args, telemetry, ring, slo) -> int:
     import dataclasses
 
     from repro.fabric import (
@@ -524,18 +653,9 @@ def cmd_fabric(args) -> int:
         smoke_config,
         tenant_table,
     )
-    from repro.telemetry import RingBufferSink, Telemetry
-
-    telemetry = None
-    ring = None
-    if args.lineage:
-        if args.preset == "scale":
-            raise ConfigError("--lineage traces are too large at scale")
-        ring = RingBufferSink(capacity=1 << 20)
-        telemetry = Telemetry(trace=True, trace_sinks=[ring])
 
     if args.chaos:
-        return _cmd_fabric_chaos(args, telemetry, ring)
+        return _cmd_fabric_chaos(args, telemetry, ring, slo)
 
     if args.preset == "scale":
         config = ScaleConfig(
@@ -545,7 +665,7 @@ def cmd_fabric(args) -> int:
             cc=args.cc,
             seed=args.seed,
         )
-        result = scale_scenario(config, telemetry=telemetry)
+        result = scale_scenario(config, telemetry=telemetry, slo=slo)
         summary = Table(
             title=(
                 f"Fabric scale: {config.tenants} tenants, "
@@ -577,11 +697,25 @@ def cmd_fabric(args) -> int:
                 "failed": result.failed,
                 "drained_s": result.drained_at,
                 "digest": result.digest,
+                "slo": _slo_json(result.slo),
             })
+        if args.metrics_json:
+            _write_metrics_json(args.metrics_json, telemetry.metrics, {
+                "command": "fabric",
+                "preset": "scale",
+                "seed": config.seed,
+                "cc": config.cc,
+                "digest": result.digest,
+            })
+        if args.openmetrics:
+            _export_openmetrics(args.openmetrics, telemetry.metrics)
+        status = 0
+        if result.slo is not None:
+            status = _slo_gate(result.slo, status)
         if result.completed + result.failed < result.messages:
             print("error: fabric did not drain", file=sys.stderr)
             return 1
-        return 0
+        return status
 
     if args.preset == "smoke":
         config = smoke_config(seed=args.seed, cc=args.cc)
@@ -595,7 +729,7 @@ def cmd_fabric(args) -> int:
         enforce_quotas=not args.no_enforce,
         rogue=not args.no_rogue,
     )
-    result = fairness_scenario(config, telemetry=telemetry)
+    result = fairness_scenario(config, telemetry=telemetry, slo=slo)
     summary = Table(
         title=(
             f"Fabric fairness ({args.preset}): {config.victims} victim(s)"
@@ -638,7 +772,21 @@ def cmd_fabric(args) -> int:
             "jain": result.jain,
             "digest": result.digest,
             "tenants": _tenant_rows(result.reports),
+            "slo": _slo_json(result.slo),
         })
+    if args.metrics_json:
+        _write_metrics_json(args.metrics_json, telemetry.metrics, {
+            "command": "fabric",
+            "preset": args.preset,
+            "seed": config.seed,
+            "cc": config.cc,
+            "digest": result.digest,
+        })
+    if args.openmetrics:
+        _export_openmetrics(args.openmetrics, telemetry.metrics)
+    status = 0
+    if result.slo is not None:
+        status = _slo_gate(result.slo, status)
     if (
         args.min_victim_fraction is not None
         and result.retention < args.min_victim_fraction
@@ -649,7 +797,7 @@ def cmd_fabric(args) -> int:
             file=sys.stderr,
         )
         return 1
-    return 0
+    return status
 
 
 def cmd_experiments(args) -> int:
@@ -702,6 +850,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-jsonl", metavar="PATH",
         help="write the raw trace-event stream as JSON Lines",
     )
+    report.add_argument(
+        "--metrics-json", metavar="PATH",
+        help="dump the final metrics registry snapshot as JSON",
+    )
+    report.add_argument(
+        "--openmetrics", metavar="PATH",
+        help="export the final metrics registry in OpenMetrics text format",
+    )
     # The DES actually executes this transfer, so default to a small
     # fast point rather than the analytic commands' 128 MiB @ 3750 km.
     report.set_defaults(
@@ -751,7 +907,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaos.add_argument(
         "--metrics-json", metavar="PATH",
-        help="dump the run's recovery.* metrics snapshot as JSON",
+        help="dump the final metrics registry snapshot as JSON",
+    )
+    chaos.add_argument(
+        "--openmetrics", metavar="PATH",
+        help="export the final metrics registry in OpenMetrics text format",
     )
     chaos.set_defaults(
         fn=cmd_chaos, size_mib=1.0, drop=0.0,
@@ -775,6 +935,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--worst", type=int, default=5, help="stragglers to list"
     )
     explain.set_defaults(fn=cmd_explain)
+
+    top = sub.add_parser(
+        "top",
+        help="render ASCII sparklines of a JSONL trace's time series",
+    )
+    top.add_argument("trace", help="JSONL trace file (report/chaos --trace-jsonl)")
+    top.add_argument(
+        "--width", type=int, default=48, help="sparkline width in time bins"
+    )
+    top.add_argument(
+        "--limit", type=int, default=24, help="maximum series rows to show"
+    )
+    top.add_argument(
+        "--match", default="",
+        help="only show series whose name contains this substring",
+    )
+    top.add_argument(
+        "--no-instants", action="store_true",
+        help="hide instant-event rate rows (loss_drop, slo_burn, ...)",
+    )
+    top.set_defaults(fn=cmd_top)
 
     fabric = sub.add_parser(
         "fabric",
@@ -844,6 +1025,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fabric.add_argument(
         "--json", metavar="PATH", help="dump the result as JSON"
+    )
+    fabric.add_argument(
+        "--trace-jsonl", metavar="PATH",
+        help="stream the trace as JSONL (view with `repro top PATH`)",
+    )
+    fabric.add_argument(
+        "--metrics-json", metavar="PATH",
+        help="dump the final metrics registry snapshot as JSON",
+    )
+    fabric.add_argument(
+        "--openmetrics", metavar="PATH",
+        help="export the final metrics registry in OpenMetrics text format",
+    )
+    fabric.add_argument(
+        "--slo", action="store_true",
+        help="arm the per-tenant SLO plane (windowed sampler + burn-rate "
+             "tracker) and exit non-zero if any declared target ends out "
+             "of compliance",
+    )
+    fabric.add_argument(
+        "--slo-window", type=float, default=None, metavar="SECONDS",
+        help="SLO sampling window width (default: scenario-chosen)",
     )
     fabric.set_defaults(fn=cmd_fabric)
 

@@ -44,6 +44,7 @@ from repro.fabric.scenarios import (
     FairnessResult,
     ScaleConfig,
     ScaleResult,
+    arm_slo,
     fairness_scenario,
     scale_scenario,
     smoke_config,
@@ -83,6 +84,7 @@ __all__ = [
     "ScaleResult",
     "TenantReport",
     "TenantSpec",
+    "arm_slo",
     "dumbbell",
     "fairness_scenario",
     "jain_index",

@@ -48,7 +48,7 @@ from repro.fabric.topology import FabricNetwork, two_tier
 from repro.faults.inject import install_edge_faults, uninstall_edge_faults
 from repro.faults.schedule import FaultSchedule, FaultWindow
 from repro.sim.engine import Simulator
-from repro.telemetry import Telemetry
+from repro.telemetry import SloConfig, SloSummary, Telemetry
 
 __all__ = [
     "FABRIC_SCHEDULES",
@@ -292,6 +292,10 @@ class ChaosResult:
     edge_health: dict = field(default_factory=dict)
     #: Final non-closed breaker states, ``"u->v"`` -> state.
     breaker_states: dict = field(default_factory=dict)
+    #: End-of-run SLO compliance (None unless ``slo=`` was armed).
+    slo: SloSummary | None = None
+    #: Windows in which any tenant-SLI burned (fault visibility signal).
+    slo_burn_windows: int = 0
 
     @property
     def survival(self) -> float:
@@ -305,8 +309,16 @@ def chaos_scenario(
     config: ChaosConfig | None = None,
     *,
     telemetry: Telemetry | None = None,
+    slo: SloConfig | None = None,
 ) -> ChaosResult:
-    """Run one fabric chaos experiment; see module docstring."""
+    """Run one fabric chaos experiment; see module docstring.
+
+    ``slo`` arms the windowed sampler + per-tenant SLO burn tracking:
+    during a fault window the affected tenants' delivery/retransmit SLIs
+    burn (``slo_burn`` trace instants fire when tracing is on) and
+    recover after the window -- the time-domain visibility a point-in-
+    time snapshot cannot give.
+    """
     config = config if config is not None else ChaosConfig()
     topo = two_tier(
         tors=config.tors,
@@ -371,6 +383,19 @@ def chaos_scenario(
                 tenant, src, dst, config.message_bytes,
                 at=j * interval + offset,
             )
+    tracker = None
+    if slo is not None:
+        from repro.fabric.scenarios import arm_slo
+
+        tracker = arm_slo(
+            sim,
+            [
+                slo.spec_for(state.spec.name, state.spec.quota_bps)
+                for state in service.tenants.values()
+            ],
+            slo,
+            default_window=2.0 * rtt,
+        )
     sim.run()
 
     failed = sum(1 for t in service.flows if t.failed)
@@ -393,4 +418,10 @@ def chaos_scenario(
         reroute=service.reroute_stats(),
         edge_health=edge_health,
         breaker_states=breaker_states,
+        slo=(
+            tracker.summary(duration=duration) if tracker is not None else None
+        ),
+        slo_burn_windows=(
+            sum(tracker.burns.values()) if tracker is not None else 0
+        ),
     )

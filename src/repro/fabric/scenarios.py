@@ -38,8 +38,35 @@ from repro.fabric.report import (
 from repro.fabric.service import FabricService, FabricServiceConfig, TenantSpec
 from repro.fabric.topology import FabricNetwork, dumbbell, two_tier
 from repro.sim.engine import Simulator
-from repro.telemetry import Telemetry
+from repro.telemetry import (
+    SloConfig,
+    SloSummary,
+    SloTracker,
+    Telemetry,
+    TimeseriesSampler,
+)
 from repro.workloads.openloop import OpenLoopConfig, Workload, generate
+
+
+def arm_slo(
+    sim: Simulator,
+    specs,
+    slo: SloConfig,
+    *,
+    default_window: float,
+) -> SloTracker:
+    """Attach a windowed sampler + SLO tracker to a fabric simulation.
+
+    Sampling is lazy, event-free and RNG-free, so arming this changes no
+    simulated outcome: same-seed runs stay byte-identical (``slo_burn``
+    trace instants are the only additions, and only when tracing is on).
+    """
+    sampler = TimeseriesSampler(
+        window=slo.window if slo.window is not None else default_window,
+        capacity=slo.capacity,
+    )
+    sim.attach_sampler(sampler)
+    return SloTracker(sampler, list(specs), policy=slo.policy())
 
 
 @dataclass(frozen=True)
@@ -109,6 +136,8 @@ class FairnessResult:
     reports: list[TenantReport] = field(default_factory=list)
     #: ``fabric.*`` metrics digest of the contended run.
     digest: str = ""
+    #: End-of-run SLO compliance (None unless ``slo=`` was armed).
+    slo: SloSummary | None = None
 
     @property
     def retention(self) -> float:
@@ -214,8 +243,15 @@ def fairness_scenario(
     config: FairnessConfig | None = None,
     *,
     telemetry: Telemetry | None = None,
+    slo: SloConfig | None = None,
 ) -> FairnessResult:
-    """Run solo baseline + contended fairness experiment; see module doc."""
+    """Run solo baseline + contended fairness experiment; see module doc.
+
+    ``slo`` arms the telemetry time plane on the *contended* run: a
+    windowed :class:`~repro.telemetry.timeseries.TimeseriesSampler` over
+    ``fabric.tenant.*`` plus an :class:`~repro.telemetry.slo.SloTracker`
+    evaluating every tenant against the config's default targets.
+    """
     config = config if config is not None else FairnessConfig()
     victims_wl = generate(
         OpenLoopConfig(
@@ -258,6 +294,17 @@ def fairness_scenario(
             ["rogue"],
             {0: (f"hL{config.victims}", "hR0")},
         )
+    tracker = None
+    if slo is not None:
+        tracker = arm_slo(
+            sim,
+            [
+                slo.spec_for(state.spec.name, state.spec.quota_bps)
+                for state in service.tenants.values()
+            ],
+            slo,
+            default_window=config.duration / 25.0,
+        )
     sim.run()
 
     reports = per_tenant_reports(service, config.duration)
@@ -270,6 +317,11 @@ def fairness_scenario(
         jain=jain_index(victim_goodputs),
         reports=reports,
         digest=metrics_digest(sim.telemetry.metrics),
+        slo=(
+            tracker.summary(duration=config.duration)
+            if tracker is not None
+            else None
+        ),
     )
 
 
@@ -338,12 +390,15 @@ class ScaleResult:
     #: ``fabric.*`` metrics digest (same seed => same digest).
     digest: str
     reports: list[TenantReport] = field(default_factory=list)
+    #: End-of-run SLO compliance (None unless ``slo=`` was armed).
+    slo: SloSummary | None = None
 
 
 def scale_scenario(
     config: ScaleConfig | None = None,
     *,
     telemetry: Telemetry | None = None,
+    slo: SloConfig | None = None,
 ) -> ScaleResult:
     """Run the open-loop scale experiment; see module docstring."""
     config = config if config is not None else ScaleConfig()
@@ -397,6 +452,17 @@ def scale_scenario(
             dst = hosts[(t + 1) % len(hosts)]
         placement[t] = (src, dst)
     submit_schedule(service, workload, names, placement)
+    tracker = None
+    if slo is not None:
+        tracker = arm_slo(
+            sim,
+            [
+                slo.spec_for(state.spec.name, state.spec.quota_bps)
+                for state in service.tenants.values()
+            ],
+            slo,
+            default_window=config.duration / 25.0,
+        )
     sim.run()
 
     failed = sum(1 for t in service.flows if t.failed)
@@ -409,4 +475,9 @@ def scale_scenario(
         drained_at=sim.now,
         digest=metrics_digest(sim.telemetry.metrics),
         reports=per_tenant_reports(service, config.duration),
+        slo=(
+            tracker.summary(duration=config.duration)
+            if tracker is not None
+            else None
+        ),
     )

@@ -179,12 +179,40 @@ class FlowTicket:
         return self.completed - self.submitted
 
 
+class _TenantMetrics:
+    """Per-tenant instruments under ``<service>.tenant.<name>.*``.
+
+    These feed the SLO plane: the :class:`~repro.telemetry.timeseries.
+    TimeseriesSampler` watches the ``fabric.tenant`` prefix and
+    :class:`~repro.telemetry.slo.SloTracker` derives windowed SLIs
+    (goodput fraction, delivery ratio, windowed p99, retransmit overhead)
+    from exactly these names.
+    """
+
+    __slots__ = (
+        "flows_submitted", "flows_completed", "flows_failed",
+        "bytes_acked", "segments_acked", "retransmits",
+        "completion_seconds",
+    )
+
+    def __init__(self, scope):
+        self.flows_submitted = scope.counter("flows_submitted")
+        self.flows_completed = scope.counter("flows_completed")
+        self.flows_failed = scope.counter("flows_failed")
+        self.bytes_acked = scope.counter("bytes_acked")
+        self.segments_acked = scope.counter("segments_acked")
+        self.retransmits = scope.counter("retransmits")
+        self.completion_seconds = scope.histogram("completion_seconds")
+
+
 @dataclass
 class TenantState:
     """Runtime state + rollup stats of one registered tenant."""
 
     spec: TenantSpec
     bucket: TokenBucketGroup | None
+    #: Per-tenant registry instruments (the SLO plane's raw signal).
+    metrics: _TenantMetrics | None = None
     flows_submitted: int = 0
     flows_completed: int = 0
     flows_failed: int = 0
@@ -329,7 +357,15 @@ class FabricService:
                 StaticRateController(spec.quota_bps),
                 burst_bytes=spec.burst_bytes,
             )
-        state = TenantState(spec=spec, bucket=bucket)
+        state = TenantState(
+            spec=spec,
+            bucket=bucket,
+            metrics=_TenantMetrics(
+                self.sim.telemetry.metrics.scope(
+                    f"{self.name}.tenant.{spec.name}"
+                )
+            ),
+        )
         self.tenants[spec.name] = state
         return state
 
@@ -404,6 +440,7 @@ class FabricService:
         state.bytes_submitted += nbytes
         self._m_flows_submitted.inc()
         self._m_bytes_submitted.inc(nbytes)
+        state.metrics.flows_submitted.inc()
         self.sim.call_at(start, lambda: self.sim.process(self._run_flow(ticket)))
         return ticket
 
@@ -583,6 +620,8 @@ class FabricService:
         tenant.last_ack = self.sim.now
         self._m_bytes_acked.inc(size)
         self._m_segments_acked.inc()
+        tenant.metrics.bytes_acked.inc(size)
+        tenant.metrics.segments_acked.inc()
         if tenant.spec.compliant:
             pacer = state.pair.pacer
             if attempt == state.attempt[idx]:  # Karn: first-attempt samples only
@@ -596,6 +635,8 @@ class FabricService:
             ticket.completed = self.sim.now
             tenant.flows_completed += 1
             self._m_flows_completed.inc()
+            tenant.metrics.flows_completed.inc()
+            tenant.metrics.completion_seconds.observe(ticket.span)
             if self._trace.enabled:
                 self._trace.instant(
                     "fabric_deliver", cat="fabric",
@@ -619,6 +660,7 @@ class FabricService:
         tenant.retransmits += 1
         ticket.retransmits += 1
         self._m_segments_retx.inc()
+        tenant.metrics.retransmits.inc()
         if self._trace.enabled:
             self._trace.instant(
                 "rto_fire", cat="fabric", track=f"{self.name}.{ticket.src}",
@@ -649,6 +691,7 @@ class FabricService:
             ticket.completed = None
             tenant.flows_failed += 1
             self._m_flows_failed.inc()
+            tenant.metrics.flows_failed.inc()
             ticket.done.succeed()  # clean failure completion, never a wedge
             return
         wait = self._admission_wait(tenant, state, state.seg_size(idx))
@@ -757,6 +800,7 @@ class FabricService:
         tenant = self.tenants[ticket.tenant]
         tenant.flows_failed += 1
         self._m_flows_failed.inc()
+        tenant.metrics.flows_failed.inc()
         self._m_partition_failures.inc()
         if self._trace.enabled:
             self._trace.instant(

@@ -183,13 +183,44 @@ class Simulator:
         self._now = 0.0
         self._heap: list[tuple[float, int, Event]] = []
         self._seq = 0
+        #: Optional lazy windowed sampler / wall-clock profiler hooks.
+        #: Disarmed cost is one attribute load per step; neither may
+        #: schedule events or draw RNG (determinism invariant).
+        self._sampler = None
+        self._profiler = None
         self.telemetry = telemetry if telemetry is not None else Telemetry()
         self.telemetry.bind(self)
+        if self.telemetry.timeseries is not None:
+            self.attach_sampler(self.telemetry.timeseries)
+        if self.telemetry.profiler is not None:
+            self.attach_profiler(self.telemetry.profiler)
 
     @property
     def now(self) -> float:
         """Current simulated time in seconds."""
         return self._now
+
+    # -- instrumentation hooks -------------------------------------------------
+
+    def attach_sampler(self, sampler) -> None:
+        """Arm a :class:`~repro.telemetry.timeseries.TimeseriesSampler`.
+
+        The sampler's windows are closed lazily from :meth:`step` right
+        after the clock advances and *before* the event's callbacks run,
+        so a window ending at boundary ``B`` reflects state as of the
+        last event before ``B``.  Event-free and RNG-free by contract.
+        """
+        if self._sampler is not None and self._sampler is not sampler:
+            raise SimulationError("a timeseries sampler is already attached")
+        sampler.bind(self)
+        self._sampler = sampler
+
+    def attach_profiler(self, profiler) -> None:
+        """Arm a :class:`~repro.sim.profile.SimProfiler` on dispatch."""
+        if self._profiler is not None and self._profiler is not profiler:
+            raise SimulationError("a profiler is already attached")
+        profiler.bind(self)
+        self._profiler = profiler
 
     # -- event creation -------------------------------------------------------
 
@@ -283,10 +314,18 @@ class Simulator:
             raise SimulationError("no scheduled events")
         time, _seq, event = heapq.heappop(self._heap)
         self._now = time
+        sampler = self._sampler
+        if sampler is not None and time >= sampler.next_deadline:
+            sampler.poll(time)
         event._state = Event._PROCESSED
         callbacks, event.callbacks = event.callbacks, []
-        for cb in callbacks:
-            cb(event)
+        profiler = self._profiler
+        if profiler is None:
+            for cb in callbacks:
+                cb(event)
+        else:
+            for cb in callbacks:
+                profiler.call(cb, event)
 
     def run(self, until: float | Event | None = None) -> Any:
         """Run until the heap drains, a deadline passes, or an event fires.
@@ -310,4 +349,8 @@ class Simulator:
             self.step()
         if until is not None:
             self._now = deadline
+        if self._sampler is not None:
+            # Close any windows the final inter-event gap left open (the
+            # lazy poll only runs when a *later* event crosses a boundary).
+            self._sampler.poll(self._now)
         return None

@@ -44,6 +44,25 @@ from repro.telemetry.metrics import (
     Histogram,
     MetricsRegistry,
     MetricsScope,
+    percentile_from_counts,
+)
+from repro.telemetry.openmetrics import (
+    metric_name,
+    render_openmetrics,
+    write_openmetrics,
+)
+from repro.telemetry.slo import (
+    BurnPolicy,
+    SloConfig,
+    SloSpec,
+    SloStatus,
+    SloSummary,
+    SloTracker,
+)
+from repro.telemetry.timeseries import (
+    HistogramWindow,
+    TimeseriesSampler,
+    WindowedSeries,
 )
 from repro.telemetry.trace import (
     ChromeTraceSink,
@@ -57,26 +76,49 @@ from repro.telemetry.trace import (
 
 __all__ = [
     "ATTRIBUTION_CATEGORIES",
+    "BurnPolicy",
     "Counter",
     "Gauge",
     "Histogram",
+    "HistogramWindow",
     "LineageAnalyzer",
     "MessageLineage",
     "MetricsRegistry",
     "MetricsScope",
+    "SloConfig",
+    "SloSpec",
+    "SloStatus",
+    "SloSummary",
+    "SloTracker",
     "Telemetry",
+    "TimeseriesSampler",
     "TraceEvent",
     "TraceSink",
     "Tracer",
+    "WindowedSeries",
     "RingBufferSink",
     "JsonlSink",
     "ChromeTraceSink",
     "flow_key",
+    "metric_name",
+    "percentile_from_counts",
+    "render_openmetrics",
+    "write_openmetrics",
 ]
 
 
 class Telemetry:
-    """Facade bundling one metrics registry and one tracer per simulation."""
+    """Facade bundling one metrics registry and one tracer per simulation.
+
+    Two optional riders extend the facade with the *time* dimension:
+
+    * ``timeseries`` -- a :class:`TimeseriesSampler` that the owning
+      :class:`~repro.sim.engine.Simulator` arms at construction, closing
+      fixed-width sim-time windows over the registry (lazy, event-free,
+      RNG-free -- same-seed traces stay byte-identical).
+    * ``profiler`` -- a :class:`~repro.sim.profile.SimProfiler` attributing
+      the engine's *wall-clock* time to event-handler categories.
+    """
 
     def __init__(
         self,
@@ -84,9 +126,13 @@ class Telemetry:
         metrics: bool = True,
         trace: bool = False,
         trace_sinks: Iterable[TraceSink] = (),
+        timeseries: TimeseriesSampler | None = None,
+        profiler=None,
     ):
         self.metrics = MetricsRegistry(enabled=metrics)
         self.trace = Tracer(enabled=trace, sinks=trace_sinks)
+        self.timeseries = timeseries
+        self.profiler = profiler
         self._sequences: dict[str, int] = {}
 
     def bind(self, sim) -> None:

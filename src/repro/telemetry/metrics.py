@@ -29,6 +29,36 @@ from typing import Any
 from repro.common.errors import ConfigError
 
 
+def percentile_from_counts(
+    zeros: int, buckets: dict[int, int], count: int, q: float
+) -> float:
+    """Percentile over raw log-bucket counts (geometric bucket midpoint).
+
+    Shared by :meth:`Histogram.percentile` and the windowed histogram
+    snapshots in :mod:`repro.telemetry.timeseries`, so a per-window p99
+    computed from a bucket-dict *diff* agrees exactly with what a live
+    histogram holding only that window's observations would report.
+    """
+    if not 0 <= q <= 100:
+        raise ConfigError(f"percentile must be in [0, 100], got {q}")
+    if count == 0:
+        return 0.0
+    target = q / 100.0 * count
+    seen = zeros
+    if seen >= target and zeros:
+        return 0.0
+    last = 0.0
+    for e in sorted(buckets):
+        if not buckets[e]:
+            continue
+        seen += buckets[e]
+        lo, hi = 2.0 ** (e - 1), 2.0**e
+        last = math.sqrt(lo * hi)
+        if seen >= target:
+            return last
+    return last  # pragma: no cover - float-rounding fallback
+
+
 class Counter:
     """A monotonically increasing count (int or float increments)."""
 
@@ -99,6 +129,8 @@ class Histogram:
         self._max = -math.inf
 
     def observe(self, value: int | float) -> None:
+        if value != value:  # NaN would silently land in frexp's 0-bucket
+            raise ConfigError(f"histogram {self.name!r} observed NaN")
         if value < 0:
             raise ConfigError(
                 f"histogram {self.name!r} observed negative value {value}"
@@ -137,21 +169,21 @@ class Histogram:
         return out
 
     def percentile(self, q: float) -> float:
-        """Approximate percentile: geometric midpoint of the q-th bucket."""
-        if not 0 <= q <= 100:
-            raise ConfigError(f"percentile must be in [0, 100], got {q}")
-        if self.count == 0:
-            return 0.0
-        target = q / 100.0 * self.count
-        seen = self._zeros
-        if seen >= target and self._zeros:
-            return 0.0
-        for e in sorted(self._buckets):
-            seen += self._buckets[e]
-            if seen >= target:
-                lo, hi = 2.0 ** (e - 1), 2.0**e
-                return math.sqrt(lo * hi)
-        return self.max  # pragma: no cover - float-rounding fallback
+        """Approximate percentile: geometric midpoint of the q-th bucket.
+
+        An empty histogram reports 0.0 for every ``q``; a histogram that
+        has only observed zeros likewise reports 0.0 (the zero bucket
+        covers every percentile).  Both are pinned by unit tests.
+        """
+        return percentile_from_counts(self._zeros, self._buckets, self.count, q)
+
+    def bucket_counts(self) -> tuple[int, dict[int, int]]:
+        """Raw ``(zeros, {exponent: count})`` — the windowed-sampler feed.
+
+        The dict is a copy: callers may diff consecutive snapshots without
+        aliasing live state.
+        """
+        return self._zeros, dict(self._buckets)
 
     def reset(self) -> None:
         self._buckets.clear()
@@ -223,6 +255,9 @@ class _NullHistogram:
 
     def buckets(self) -> list:
         return []
+
+    def bucket_counts(self) -> tuple[int, dict]:
+        return 0, {}
 
     def percentile(self, q: float) -> float:
         return 0.0

@@ -8,7 +8,12 @@ surface is a pure function of the seed.
 
 import io
 
-from repro.telemetry import ChromeTraceSink, JsonlSink, Telemetry
+from repro.telemetry import (
+    ChromeTraceSink,
+    JsonlSink,
+    Telemetry,
+    TimeseriesSampler,
+)
 from repro.telemetry.demo import run_demo
 
 MIB = 1 << 20
@@ -43,3 +48,45 @@ class TestDeterminism:
         _, jsonl_a, _ = _run(seed=5)
         _, jsonl_b, _ = _run(seed=6)
         assert jsonl_a != jsonl_b
+
+
+class TestSamplerDeterminism:
+    """Arming the windowed sampler must not perturb the simulation."""
+
+    @staticmethod
+    def _sampled_run(seed: int, armed: bool):
+        buf = io.StringIO()
+        sampler = (
+            TimeseriesSampler(window=1e-3, capacity=256) if armed else None
+        )
+        telemetry = Telemetry(
+            trace=True, trace_sinks=[JsonlSink(buf)], timeseries=sampler,
+        )
+        run_demo(
+            protocol="sr", messages=2, message_bytes=MIB, drop=0.02,
+            seed=seed, telemetry=telemetry,
+        )
+        return sampler, telemetry.metrics.snapshot(), buf.getvalue()
+
+    def test_armed_run_is_byte_identical(self):
+        sampler_a, snap_a, trace_a = self._sampled_run(seed=5, armed=True)
+        sampler_b, snap_b, trace_b = self._sampled_run(seed=5, armed=True)
+        assert sampler_a.windows_closed > 0
+        assert trace_a == trace_b
+        assert snap_a == snap_b
+        for name in sampler_a.names():
+            assert sampler_a.series(name).points() == (
+                sampler_b.series(name).points()
+            )
+
+    def test_armed_trace_equals_unarmed_trace(self):
+        # The sampler is lazy and event-free: same seed, same bytes,
+        # whether or not it is attached.
+        _, snap_armed, trace_armed = self._sampled_run(seed=5, armed=True)
+        _, snap_plain, trace_plain = self._sampled_run(seed=5, armed=False)
+        assert trace_armed == trace_plain
+        stripped = {
+            k: v for k, v in snap_armed.items()
+            if not k.startswith("timeseries")
+        }
+        assert stripped == snap_plain

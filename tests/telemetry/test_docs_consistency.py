@@ -10,10 +10,16 @@ import re
 from pathlib import Path
 
 from repro.common.units import KiB, MiB, distance_to_rtt
+from repro.fabric import fairness_scenario, smoke_config
 from repro.faults import named_schedule
 from repro.reliability.gbn import GbnReceiver, GbnSender
 from repro.reliability.sr import SrConfig
-from repro.telemetry import LineageAnalyzer, RingBufferSink, Telemetry
+from repro.telemetry import (
+    LineageAnalyzer,
+    RingBufferSink,
+    SloConfig,
+    Telemetry,
+)
 from repro.telemetry.demo import run_demo
 
 from tests.conftest import make_sdr_pair
@@ -62,6 +68,12 @@ def produced_prefixes() -> set[str]:
     ticket = sender.write(size)
     pair.sim.run(ticket.done)
     names.update(pair.sim.telemetry.metrics.names())
+    # fabric.*, slo.* and timeseries.* come from an armed fabric run.
+    fabric_telemetry = Telemetry()
+    fairness_scenario(
+        smoke_config(seed=0), telemetry=fabric_telemetry, slo=SloConfig()
+    )
+    names.update(fabric_telemetry.metrics.names())
     return {name.split(".", 1)[0] for name in names}
 
 

@@ -90,10 +90,28 @@ class TestHistogram:
         assert h.mean == 0.0
         assert h.snapshot()["count"] == 0
 
+    def test_all_zero_observations_pin_percentiles_to_zero(self):
+        h = Histogram("t")
+        for _ in range(8):
+            h.observe(0.0)
+        assert h.percentile(50) == 0.0
+        assert h.percentile(99) == 0.0
+        assert h.percentile(100) == 0.0
+        assert h.mean == 0.0
+        assert h.snapshot()["count"] == 8
+
     def test_rejects_negative(self):
         h = Histogram("t")
         with pytest.raises(ConfigError):
             h.observe(-1.0)
+
+    def test_rejects_nan(self):
+        # NaN fails every comparison, so it would silently fall through
+        # the bucketing into the zero bucket - reject it loudly instead.
+        h = Histogram("t")
+        with pytest.raises(ConfigError):
+            h.observe(float("nan"))
+        assert h.count == 0
 
     def test_rejects_bad_percentile(self):
         h = Histogram("t")
@@ -152,6 +170,15 @@ class TestRegistry:
         snap = reg.snapshot()
         assert snap["a"] == 2 and snap["b"] == 7
         assert snap["h"]["count"] == 1
+
+    def test_snapshot_prefix_scoping(self):
+        reg = MetricsRegistry()
+        reg.counter("sr.dc-a.x").inc(1)
+        reg.counter("sr.dc-ab.x").inc(2)  # must NOT match prefix "sr.dc-a"
+        reg.gauge("net.depth").set(3)
+        assert reg.snapshot("sr.dc-a") == {"sr.dc-a.x": 1}
+        assert set(reg.snapshot("sr")) == {"sr.dc-a.x", "sr.dc-ab.x"}
+        assert list(reg.snapshot()) == reg.names()
 
     def test_reset_keeps_registrations(self):
         reg = MetricsRegistry()

@@ -1,0 +1,91 @@
+"""OpenMetrics text exposition of a metrics registry."""
+
+from repro.telemetry import (
+    MetricsRegistry,
+    metric_name,
+    render_openmetrics,
+    write_openmetrics,
+)
+
+
+class TestMetricName:
+    def test_dots_flatten_to_underscores(self):
+        assert metric_name("fabric.tenant.t0.bytes_acked") == (
+            "fabric_tenant_t0_bytes_acked"
+        )
+
+    def test_invalid_characters_replaced(self):
+        assert metric_name("net.dc-a<->dc-b.fwd") == "net_dc_a___dc_b_fwd"
+
+    def test_leading_digit_prefixed(self):
+        assert metric_name("0weird") == "_0weird"
+
+
+class TestRender:
+    def _registry(self):
+        r = MetricsRegistry()
+        r.counter("app.requests").inc(3)
+        r.gauge("app.depth").set(1.5)
+        h = r.histogram("app.latency")
+        for v in (0.0, 0.001, 0.003):
+            h.observe(v)
+        return r
+
+    def test_counter_gets_total_suffix_and_type(self):
+        text = render_openmetrics(self._registry())
+        assert "# TYPE app_requests_total counter" in text
+        assert "\napp_requests_total 3\n" in text
+
+    def test_gauge_plain_sample(self):
+        text = render_openmetrics(self._registry())
+        assert "# TYPE app_depth gauge" in text
+        assert "\napp_depth 1.5\n" in text
+
+    def test_histogram_cumulative_buckets(self):
+        lines = render_openmetrics(self._registry()).splitlines()
+        buckets = [l for l in lines if l.startswith("app_latency_bucket")]
+        # Cumulative counts, zero bucket first, +Inf last.
+        assert buckets[0] == 'app_latency_bucket{le="0.0"} 1'
+        assert buckets[-1] == 'app_latency_bucket{le="+Inf"} 3'
+        counts = [int(l.rsplit(" ", 1)[1]) for l in buckets]
+        assert counts == sorted(counts)
+        assert "app_latency_count 3" in lines
+        assert any(l.startswith("app_latency_sum 0.004") for l in lines)
+
+    def test_ends_with_eof_terminator(self):
+        assert render_openmetrics(self._registry()).endswith("# EOF\n")
+
+    def test_prefix_filter(self):
+        r = self._registry()
+        r.counter("other.thing").inc()
+        text = render_openmetrics(r, prefix="app")
+        assert "other_thing" not in text
+        assert "app_requests_total" in text
+
+    def test_empty_registry_is_just_eof(self):
+        assert render_openmetrics(MetricsRegistry()) == "# EOF\n"
+
+    def test_rendering_is_deterministic(self):
+        assert render_openmetrics(self._registry()) == render_openmetrics(
+            self._registry()
+        )
+
+
+class TestWrite:
+    def test_writes_file_and_counts_samples(self, tmp_path):
+        path = tmp_path / "metrics.om"
+        samples = write_openmetrics(self._reg(), str(path))
+        text = path.read_text()
+        assert text.endswith("# EOF\n")
+        # counter + gauge = 2 scalar samples (no histograms registered).
+        assert samples == 2
+        assert len([
+            l for l in text.splitlines() if l and not l.startswith("#")
+        ]) == samples
+
+    @staticmethod
+    def _reg():
+        r = MetricsRegistry()
+        r.counter("a.b").inc()
+        r.gauge("a.c").set(2)
+        return r

@@ -229,6 +229,147 @@ class TestFabricChaos:
         assert "reroute_wait" in out
 
 
+class TestMetricsExport:
+    """Every runner exports the same ``{"meta", "metrics"}`` JSON shape."""
+
+    def test_report_metrics_json(self, capsys, tmp_path):
+        path = tmp_path / "metrics.json"
+        assert main(
+            ["report", "--messages", "1", "--size-mib", "1", "--seed", "1",
+             "--metrics-json", str(path)]
+        ) == 0
+        assert "Metrics JSON written" in capsys.readouterr().out
+        doc = json.loads(path.read_text())
+        assert set(doc) == {"meta", "metrics"}
+        assert doc["meta"]["command"] == "report"
+        assert doc["meta"]["seed"] == 1
+        assert any(k.startswith("net.") for k in doc["metrics"])
+
+    def test_chaos_metrics_json(self, capsys, tmp_path):
+        path = tmp_path / "metrics.json"
+        assert main(
+            ["chaos", "--schedule", "blackout", "--messages", "4",
+             "--size-mib", "1", "--seed", "1", "--metrics-json", str(path)]
+        ) == 0
+        doc = json.loads(path.read_text())
+        assert set(doc) == {"meta", "metrics"}
+        assert doc["meta"]["command"] == "chaos"
+        assert doc["meta"]["schedule"] == "blackout"
+        assert any(k.startswith("faults.") for k in doc["metrics"])
+
+    def test_fabric_metrics_json(self, capsys, tmp_path):
+        path = tmp_path / "metrics.json"
+        assert main(
+            ["fabric", "--preset", "smoke", "--metrics-json", str(path)]
+        ) == 0
+        doc = json.loads(path.read_text())
+        assert set(doc) == {"meta", "metrics"}
+        assert doc["meta"]["command"] == "fabric"
+        assert any(k.startswith("fabric.") for k in doc["metrics"])
+
+    def test_report_openmetrics(self, capsys, tmp_path):
+        path = tmp_path / "metrics.om"
+        assert main(
+            ["report", "--messages", "1", "--size-mib", "1", "--seed", "1",
+             "--openmetrics", str(path)]
+        ) == 0
+        assert "OpenMetrics written" in capsys.readouterr().out
+        text = path.read_text()
+        assert text.endswith("# EOF\n")
+        assert "# TYPE" in text
+
+    def test_fabric_openmetrics(self, capsys, tmp_path):
+        path = tmp_path / "metrics.om"
+        assert main(
+            ["fabric", "--preset", "smoke", "--openmetrics", str(path)]
+        ) == 0
+        text = path.read_text()
+        assert text.endswith("# EOF\n")
+        assert "fabric_tenant" in text
+
+
+class TestTop:
+    @pytest.fixture()
+    def trace_path(self, tmp_path, capsys):
+        path = tmp_path / "trace.jsonl"
+        assert main(
+            ["report", "--messages", "2", "--size-mib", "1", "--seed", "1",
+             "--drop", "0.02", "--trace-jsonl", str(path)]
+        ) == 0
+        capsys.readouterr()  # discard report output
+        return path
+
+    def test_top_renders_sparklines(self, capsys, trace_path):
+        assert main(["top", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "== top:" in out
+        assert "spark" in out
+        assert "loss_drop" in out
+        assert any(block in out for block in "▁▂▃▄▅▆▇█")
+
+    def test_top_match_filter(self, capsys, trace_path):
+        assert main(["top", str(trace_path), "--match", "loss"]) == 0
+        out = capsys.readouterr().out
+        assert "loss_drop" in out
+        assert "rto_fire" not in out
+
+    def test_top_no_match_clean_error(self, capsys, trace_path):
+        assert main(["top", str(trace_path), "--match", "nonexistent"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_top_missing_trace_clean_error(self, capsys, tmp_path):
+        assert main(["top", str(tmp_path / "missing.jsonl")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestFabricSlo:
+    def test_slo_summary_and_gate_pass(self, capsys):
+        assert main(["fabric", "--preset", "smoke", "--slo"]) == 0
+        out = capsys.readouterr().out
+        assert "SLO compliance (slo.*)" in out
+
+    def test_slo_gate_fails_under_static_routing_crash(self, capsys):
+        # Static routing cannot absorb a ToR crash: delivery collapses
+        # and the declared 0.9 target gates the exit status.
+        assert main(
+            ["fabric", "--chaos", "tor_crash", "--no-health", "--slo"]
+        ) == 1
+        captured = capsys.readouterr()
+        assert "SLO compliance (slo.*)" in captured.out
+        assert "out of compliance" in captured.err
+
+    def test_chaos_json_includes_slo_block(self, tmp_path):
+        path = tmp_path / "chaos.json"
+        assert main(
+            ["fabric", "--chaos", "tor_crash", "--slo", "--json", str(path)]
+        ) == 0
+        payload = json.loads(path.read_text())
+        slo = payload["slo"]
+        assert slo["compliant"] is True
+        assert slo["windows_evaluated"] > 0
+        assert slo["rows"]
+        assert {"tenant", "sli", "target", "value"} <= set(slo["rows"][0])
+
+    def test_fabric_trace_jsonl_feeds_top(self, capsys, tmp_path):
+        # The whole loop: record a burning chaos run, view it in top.
+        path = tmp_path / "run.jsonl"
+        assert main(
+            ["fabric", "--chaos", "tor_crash", "--no-health", "--slo",
+             "--trace-jsonl", str(path)]
+        ) == 1  # the SLO gate fires; the trace is still written
+        out = capsys.readouterr().out
+        assert "JSONL trace written" in out
+        assert main(["top", str(path), "--match", "slo_burn"]) == 0
+        assert "slo_burn" in capsys.readouterr().out
+
+    def test_json_slo_block_null_when_unarmed(self, tmp_path):
+        path = tmp_path / "chaos.json"
+        assert main(
+            ["fabric", "--chaos", "wan_flap", "--json", str(path)]
+        ) == 0
+        assert json.loads(path.read_text())["slo"] is None
+
+
 class TestParser:
     def test_command_required(self):
         with pytest.raises(SystemExit):
