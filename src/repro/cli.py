@@ -283,6 +283,7 @@ def cmd_report(args) -> int:
 def cmd_chaos(args) -> int:
     from repro.faults import NAMED_SCHEDULES, named_schedule
     from repro.reliability.ec import EcConfig
+    from repro.reliability.sampling import SamplingConfig
     from repro.reliability.sr import SrConfig
     from repro.telemetry import JsonlSink, RingBufferSink, Telemetry
     from repro.telemetry.demo import run_demo
@@ -311,6 +312,10 @@ def cmd_chaos(args) -> int:
         serve_deadline_rtts=600.0,
     )
     ec_config = EcConfig(serve_deadline_rtts=600.0)
+    sampling_config = SamplingConfig(
+        max_message_retransmits=2000,
+        serve_deadline_rtts=600.0,
+    )
     result = run_demo(
         protocol=args.protocol,
         messages=args.messages,
@@ -325,6 +330,7 @@ def cmd_chaos(args) -> int:
         faults=schedule,
         sr_config=sr_config,
         ec_config=ec_config,
+        sampling_config=sampling_config,
         planes=args.planes,
         spread=args.spread,
         recover=args.recover,
@@ -835,7 +841,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="run a simulated WAN transfer and summarize its telemetry",
     )
     _add_link_args(report)
-    report.add_argument("--protocol", choices=("sr", "ec"), default="sr")
+    report.add_argument(
+        "--protocol", "--reliability", dest="protocol",
+        choices=("sr", "ec", "sampling"), default="sr",
+        help="reliability mode driving the transfer",
+    )
     report.add_argument("--messages", type=int, default=4)
     report.add_argument("--seed", type=int, default=0)
     report.add_argument(
@@ -878,7 +888,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--list", action="store_true", help="list named schedules and exit"
     )
     chaos.add_argument(
-        "--protocol", choices=("sr", "ec", "adaptive"), default="sr"
+        "--protocol", "--reliability", dest="protocol",
+        choices=("sr", "ec", "adaptive", "sampling"), default="sr",
+        help="reliability mode driving the transfer",
     )
     chaos.add_argument("--messages", type=int, default=8)
     chaos.add_argument("--seed", type=int, default=0)

@@ -13,6 +13,15 @@ The paper compares two submessage codes (Section 5.1.1, Appendix B):
 
 Both implement the :class:`~repro.ec.codec.ErasureCode` interface consumed
 by the EC reliability layer and the Figure 11 codec benchmark.
+
+Beyond the paper, the substrate also hosts the pieces the sampling
+reliability mode builds on (Animica DA-style, see ``docs/protocols.md``):
+
+* :class:`~repro.ec.rs2d.Rs2dCode` -- 2-D row+column RS parity with an
+  iterative peeling decoder (registry name ``"rs2d"``).
+* :class:`~repro.ec.segmented.SegmentedCode` -- arbitrary-size messages
+  over fixed (k, m) groups with deterministic zero padding.
+* :mod:`repro.ec.sampling` -- availability-sampling detection math.
 """
 
 from repro.ec.codec import CodecStats, ErasureCode, get_codec, register_codec
@@ -25,13 +34,26 @@ from repro.ec.gf256 import (
     gf_pow,
 )
 from repro.ec.reed_solomon import ReedSolomonCode
+from repro.ec.rs2d import Rs2dCode
+from repro.ec.sampling import (
+    detection_probability,
+    draw_probes,
+    miss_probability,
+    probes_for_confidence,
+)
+from repro.ec.segmented import SegmentedCode, SegmentLayout
 from repro.ec.xor_code import XorCode
 
 __all__ = [
     "CodecStats",
     "ErasureCode",
     "ReedSolomonCode",
+    "Rs2dCode",
+    "SegmentLayout",
+    "SegmentedCode",
     "XorCode",
+    "detection_probability",
+    "draw_probes",
     "get_codec",
     "gf_inv",
     "gf_mat_inv",
@@ -39,5 +61,7 @@ __all__ = [
     "gf_mul",
     "gf_mul_bytes",
     "gf_pow",
+    "miss_probability",
+    "probes_for_confidence",
     "register_codec",
 ]

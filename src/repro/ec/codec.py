@@ -42,11 +42,19 @@ class CodecStats:
 class ErasureCode(abc.ABC):
     """A (k, m) erasure code over equal-sized byte chunks."""
 
+    #: Upper bound on ``k + m`` (the GF(256) symbol space).  Product codes
+    #: that compose per-axis GF(256) codes (e.g. :class:`~repro.ec.rs2d.
+    #: Rs2dCode`) validate each axis separately and set this to ``None``.
+    max_total_chunks: int | None = 256
+
     def __init__(self, k: int, m: int):
         if k <= 0 or m <= 0:
             raise ConfigError(f"need k > 0 and m > 0, got k={k}, m={m}")
-        if k + m > 256:
-            raise ConfigError(f"k + m must be <= 256 for GF(256) codes")
+        limit = self.max_total_chunks
+        if limit is not None and k + m > limit:
+            raise ConfigError(
+                f"k + m must be <= {limit} for GF(256) codes, got {k + m}"
+            )
         self.k = k
         self.m = m
         self.stats = CodecStats()
@@ -106,7 +114,10 @@ class ErasureCode(abc.ABC):
             raise ConfigError(f"chunk sizes differ: {sorted(sizes)}")
         for idx in chunks:
             if not 0 <= idx < self.k + self.m:
-                raise ConfigError(f"coded chunk index {idx} out of range")
+                raise ConfigError(
+                    f"coded chunk index {idx} out of range "
+                    f"[0, {self.k + self.m})"
+                )
         self.stats.decode_calls += 1
         try:
             return self._decode(chunks, sizes.pop())
@@ -122,9 +133,17 @@ _REGISTRY: dict[str, Callable[[int, int], ErasureCode]] = {}
 
 
 def register_codec(name: str, factory: Callable[[int, int], ErasureCode]) -> None:
-    """Register an erasure-code implementation under ``name``."""
+    """Register an erasure-code implementation under ``name``.
+
+    Re-registering the *same* factory is a no-op (module reloads are
+    harmless); binding an existing name to a different factory raises, so a
+    codec can never be silently replaced.
+    """
     key = name.lower()
-    if key in _REGISTRY:
+    existing = _REGISTRY.get(key)
+    if existing is not None:
+        if existing is factory:
+            return
         raise ConfigError(f"codec {name!r} already registered")
     _REGISTRY[key] = factory
 

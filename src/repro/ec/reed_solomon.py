@@ -40,6 +40,12 @@ class ReedSolomonCode(ErasureCode):
 
     def __init__(self, k: int, m: int):
         super().__init__(k, m)
+        if k + m > 255:
+            # The Vandermonde bases 1..k+m must be distinct nonzero GF(256)
+            # elements, of which there are only 255.
+            raise ConfigError(
+                f"Reed-Solomon needs k + m <= 255, got {k + m}"
+            )
         v = _vandermonde(k + m, k)
         top_inv = gf_mat_inv(v[:k])
         self.generator = gf_matmul(v, top_inv)

@@ -13,7 +13,7 @@ enabling system architects to design and tune the reliability layer":
 * :mod:`repro.models.stats` -- summary statistics (mean, p50, p99, p99.9).
 """
 
-from repro.models.decode_prob import p_decode_mds, p_decode_xor
+from repro.models.decode_prob import p_decode_mds, p_decode_rs2d, p_decode_xor
 from repro.models.ec_model import (
     ec_expected_completion,
     ec_sample_completion,
@@ -39,6 +39,7 @@ __all__ = [
     "gbn_expected_completion",
     "gbn_sample_completion",
     "p_decode_mds",
+    "p_decode_rs2d",
     "p_decode_xor",
     "sr_completion_percentile",
     "sr_completion_tail",

@@ -27,7 +27,12 @@ import math
 import numpy as np
 
 from repro.common.errors import ConfigError
-from repro.models.decode_prob import p_decode_mds, p_decode_xor, p_fallback
+from repro.models.decode_prob import (
+    p_decode_mds,
+    p_decode_rs2d,
+    p_decode_xor,
+    p_fallback,
+)
 from repro.models.params import ModelParams
 from repro.models.sr_model import sr_expected_completion, sr_sample_completion
 
@@ -38,7 +43,11 @@ def _decode_prob(codec: str, p_drop: float, k: int, m: int) -> float:
         return p_decode_mds(p_drop, k, m)
     if codec == "xor":
         return p_decode_xor(p_drop, k, m)
-    raise ConfigError(f"unknown codec {codec!r} (use 'mds' or 'xor')")
+    if codec == "rs2d":
+        return p_decode_rs2d(p_drop, k, m)
+    raise ConfigError(
+        f"unknown codec {codec!r} (use 'mds', 'xor' or 'rs2d')"
+    )
 
 
 def _geometry(chunks: int, k: int, m: int) -> tuple[int, int, float]:

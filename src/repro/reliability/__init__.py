@@ -9,7 +9,7 @@ Two protocol families from Section 4 of the paper:
   submessages, receiver-side in-place recovery, fallback timeout (FTO) and
   Selective Repeat fallback for unrecoverable submessages.
 
-Plus two demonstrations of the software-defined premise (new reliability
+Plus three demonstrations of the software-defined premise (new reliability
 schemes without new silicon):
 
 * :mod:`repro.reliability.gbn` -- Go-Back-N, the commodity-NIC baseline,
@@ -17,6 +17,10 @@ schemes without new silicon):
 * :mod:`repro.reliability.adaptive` -- per-connection protocol
   provisioning (Section 2.1): the receiver picks SR or EC per message from
   a model-driven advisor fed by its observed drop rate.
+* :mod:`repro.reliability.sampling` -- receiver-driven availability
+  sampling: deterministic bitmap probes, compact segment repair requests,
+  a single Done instead of a per-RTT ACK stream, with the bitmap-driven
+  resumption machinery as the backstop.
 
 Shared plumbing lives in :mod:`repro.reliability.base` (control path,
 tickets) and :mod:`repro.reliability.messages` (ACK/NACK wire formats).
@@ -36,8 +40,14 @@ from repro.reliability.messages import (
     EcAck,
     EcNack,
     Provision,
+    RepairReq,
     SrNack,
     decode_message,
+)
+from repro.reliability.sampling import (
+    SamplingConfig,
+    SamplingReceiver,
+    SamplingSender,
 )
 from repro.reliability.sr import SrConfig, SrReceiver, SrSender
 
@@ -57,6 +67,10 @@ __all__ = [
     "ProtocolAdvisor",
     "Provision",
     "ReceiveTicket",
+    "RepairReq",
+    "SamplingConfig",
+    "SamplingReceiver",
+    "SamplingSender",
     "SrConfig",
     "SrNack",
     "SrReceiver",

@@ -36,6 +36,11 @@ class ControlPath:
         self._handlers: list[Callable[[Any], None]] = []
         self.messages_sent = 0
         self.messages_received = 0
+        #: Cumulative wire bytes of sent control datagrams (zero-padding
+        #: included).  A plain attribute, not a metric, so arming it never
+        #: perturbs trace/metric determinism; the ACK-traffic benchmark
+        #: reads it to compare protocols' control overhead.
+        self.bytes_sent = 0
 
     def info(self) -> QpInfo:
         return self.qp.info()
@@ -63,6 +68,7 @@ class ControlPath:
             )
         )
         self.messages_sent += 1
+        self.bytes_sent += max(len(raw), MIN_CTRL_BYTES)
 
     def _on_datagram(self, payload, immediate, src_qpn) -> None:
         if payload is None:

@@ -29,6 +29,7 @@ _TYPE_DONE = 5
 _TYPE_PROVISION = 6
 _TYPE_RESUME_REQ = 7
 _TYPE_RESUME_ACK = 8
+_TYPE_REPAIR_REQ = 9
 
 _HEADER = struct.Struct("<BI")  # type, msg_seq
 
@@ -281,6 +282,58 @@ class ResumeAck:
         )
 
 
+@dataclass(frozen=True)
+class RepairReq:
+    """Sampling-mode repair request (receiver -> sender).
+
+    Availability sampling flagged segment ``segment`` of message
+    ``msg_seq`` as incomplete; ``missing`` is a window of the receiver's
+    *inverted* chunk bitmap starting at absolute chunk ``window_start``
+    (LSB-first, mirroring the :class:`Ack` window bit order): bit ``i`` of
+    byte ``b`` set means chunk ``window_start + 8*b + i`` is missing and
+    should be retransmitted.
+    """
+
+    msg_seq: int
+    segment: int
+    window_start: int
+    missing: bytes
+
+    _FIXED = struct.Struct("<III")  # segment, window_start, missing_len
+
+    def pack(self) -> bytes:
+        return (
+            _HEADER.pack(_TYPE_REPAIR_REQ, self.msg_seq)
+            + self._FIXED.pack(self.segment, self.window_start, len(self.missing))
+            + self.missing
+        )
+
+    @classmethod
+    def unpack(cls, msg_seq: int, body: bytes) -> "RepairReq":
+        segment, start, mlen = cls._FIXED.unpack_from(body)
+        missing = body[cls._FIXED.size : cls._FIXED.size + mlen]
+        if len(missing) != mlen:
+            raise ProtocolError("truncated repair-request bitmap")
+        return cls(
+            msg_seq=msg_seq, segment=segment, window_start=start,
+            missing=missing,
+        )
+
+    def missing_chunks(self, nchunks: int) -> list[int]:
+        """Absolute indices of the chunks this request asks for."""
+        out: list[int] = []
+        for byte_i, byte in enumerate(self.missing):
+            if not byte:
+                continue
+            base = self.window_start + byte_i * 8
+            for bit in range(8):
+                if byte >> bit & 1:
+                    idx = base + bit
+                    if idx < nchunks:
+                        out.append(idx)
+        return out
+
+
 _DECODERS = {
     _TYPE_ACK: Ack.unpack,
     _TYPE_SR_NACK: SrNack.unpack,
@@ -290,6 +343,7 @@ _DECODERS = {
     _TYPE_PROVISION: Provision.unpack,
     _TYPE_RESUME_REQ: ResumeReq.unpack,
     _TYPE_RESUME_ACK: ResumeAck.unpack,
+    _TYPE_REPAIR_REQ: RepairReq.unpack,
 }
 
 

@@ -22,6 +22,11 @@ from repro.recovery import PlaneRecovery
 from repro.reliability.adaptive import AdaptiveReceiver, AdaptiveSender
 from repro.reliability.base import ControlPath, ReceiveTicket, WriteTicket
 from repro.reliability.ec import EcConfig, EcReceiver, EcSender
+from repro.reliability.sampling import (
+    SamplingConfig,
+    SamplingReceiver,
+    SamplingSender,
+)
 from repro.reliability.sr import SrConfig, SrReceiver, SrSender
 from repro.sdr.context import context_create
 from repro.sim.engine import Simulator
@@ -45,6 +50,10 @@ class DemoResult:
     recovery: PlaneRecovery | None = None
     #: The sender-side pacer when ``cc`` is not None (None otherwise).
     pacer: Pacer | None = None
+    #: Control paths (sender side, receiver side): their ``bytes_sent``
+    #: gives the protocol's control/ACK wire overhead for the run.
+    ctrl_a: ControlPath | None = None
+    ctrl_b: ControlPath | None = None
 
     @property
     def telemetry(self) -> Telemetry:
@@ -81,6 +90,7 @@ def run_demo(
     faults: FaultSchedule | None = None,
     sr_config: SrConfig | None = None,
     ec_config: EcConfig | None = None,
+    sampling_config: SamplingConfig | None = None,
     planes: int | None = None,
     spread: str = "flow",
     recover: bool = False,
@@ -112,9 +122,10 @@ def run_demo(
     gives the null controller a fixed rate; ``buffer_bytes`` /
     ``ecn_threshold_bytes`` arm tail drop and CE marking on the link.
     """
-    if protocol not in ("sr", "ec", "adaptive"):
+    if protocol not in ("sr", "ec", "adaptive", "sampling"):
         raise ConfigError(
-            f"protocol must be 'sr', 'ec' or 'adaptive', got {protocol!r}"
+            f"protocol must be 'sr', 'ec', 'adaptive' or 'sampling', "
+            f"got {protocol!r}"
         )
     if messages <= 0:
         raise ConfigError(f"messages must be > 0, got {messages}")
@@ -176,12 +187,17 @@ def run_demo(
 
     sr_cfg = sr_config if sr_config is not None else SrConfig(nack_enabled=nack)
     ec_cfg = ec_config if ec_config is not None else EcConfig()
+    smp_cfg = (
+        sampling_config if sampling_config is not None else SamplingConfig()
+    )
     if recover:
         # Arm bitmap-driven resumption unless the caller already did.
         if sr_cfg.max_resumptions <= 0:
             sr_cfg = replace(sr_cfg, max_resumptions=resumptions)
         if ec_cfg.max_resumptions <= 0:
             ec_cfg = replace(ec_cfg, max_resumptions=resumptions)
+        if smp_cfg.max_resumptions <= 0:
+            smp_cfg = replace(smp_cfg, max_resumptions=resumptions)
 
     if protocol == "sr":
         sender = SrSender(qp_a, ctrl_a, sr_cfg)
@@ -189,6 +205,9 @@ def run_demo(
     elif protocol == "ec":
         sender = EcSender(qp_a, ctrl_a, ec_cfg)
         receiver = EcReceiver(qp_b, ctrl_b, ec_cfg)
+    elif protocol == "sampling":
+        sender = SamplingSender(qp_a, ctrl_a, smp_cfg)
+        receiver = SamplingReceiver(qp_b, ctrl_b, smp_cfg)
     else:
         sender = AdaptiveSender(
             qp_a, ctrl_a, sr_config=sr_cfg, ec_config=ec_cfg
@@ -249,4 +268,6 @@ def run_demo(
         recv_tickets=recv_tickets,
         recovery=recovery,
         pacer=pacer,
+        ctrl_a=ctrl_a,
+        ctrl_b=ctrl_b,
     )

@@ -76,6 +76,7 @@ ATTRIBUTION_CATEGORIES = (
     "recovery",
     "reroute_wait",
     "cc_wait",
+    "sampling_wait",
     "ack_wait",
     "other",
 )
@@ -96,6 +97,11 @@ _REROUTE_TRIGGERS = frozenset({"reroute", "route_restored", "resumption"})
 #: Events that mark a congestion-control pacing stall (``repro.cc`` emits
 #: them on wake, i.e. at the *end* of the idle gap they explain).
 _CC_TRIGGERS = frozenset({"cc_stall"})
+
+#: Events of the availability-sampling mode: an idle gap ending with a
+#: probe round or repair request is the protocol's detection latency
+#: (blamed on ``sampling_wait`` -- the cost of sampling instead of ACKing).
+_SAMPLING_TRIGGERS = frozenset({"sample_probe", "repair_req", "repair_retx"})
 
 #: Busy-interval category priority when spans overlap (rarer wins).
 _BUSY_PRIORITY = {"decode": 3, "retransmit": 2, "first_transmit": 1}
@@ -246,7 +252,7 @@ class LineageAnalyzer:
             if ev.dur is not None:
                 args["__dur"] = ev.dur
             rec.events.append((ev.ts, ev.name, args))
-            if ev.name in ("sr_write", "ec_write"):
+            if ev.name in ("sr_write", "ec_write", "sampling_write"):
                 rec.completed = ev.ts + (ev.dur or 0.0)
                 rec.posted = ev.ts
             elif ev.name == "fabric_deliver":
@@ -309,6 +315,7 @@ class LineageAnalyzer:
             or name in _RECOVERY_TRIGGERS
             or name in _REROUTE_TRIGGERS
             or name in _CC_TRIGGERS
+            or name in _SAMPLING_TRIGGERS
         ]
         last_busy_end = max((end for _, end, _ in busy), default=rec.posted)
         first_busy_start = min((start for start, _, _ in busy), default=rec.completed)
@@ -342,6 +349,8 @@ class LineageAnalyzer:
                     cat = "loss_recovery"
                 elif any(n in _CC_TRIGGERS for n in ending):
                     cat = "cc_wait"
+                elif any(n in _SAMPLING_TRIGGERS for n in ending):
+                    cat = "sampling_wait"
                 else:
                     cat = "other"
             attribution[cat] += hi - lo

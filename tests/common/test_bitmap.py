@@ -166,3 +166,79 @@ def test_property_cumulative_is_prefix_length(nbits, data):
     arr = bm.as_array()
     assert arr[:cum].all()
     assert cum == nbits or not arr[cum]
+
+
+class TestEdgeCases:
+    """Boundary geometries the SDR slot machinery actually produces."""
+
+    def test_single_chunk_message(self):
+        # A 1-byte message is one chunk: the bitmap is a single bit.
+        bm = Bitmap(1)
+        assert bm.cumulative() == 0
+        assert not bm.all_set()
+        assert bm.set(0)
+        assert bm.all_set()
+        assert bm.cumulative() == 1
+        assert bm.missing().size == 0
+        assert bm.to_bytes() == b"\x01"
+
+    def test_exact_word_boundaries(self):
+        # Sizes landing exactly on byte boundaries have no padding bits.
+        for nbits in (8, 16, 64):
+            bm = Bitmap(nbits)
+            for i in range(nbits):
+                bm.set(i)
+            assert bm.all_set()
+            assert bm.to_bytes() == b"\xff" * (nbits // 8)
+
+    def test_last_partial_word(self):
+        # One bit past a byte boundary: the final byte holds one real bit
+        # and seven padding bits that must stay invisible.
+        for nbits in (9, 17, 65):
+            bm = Bitmap(nbits)
+            assert bm.set(nbits - 1)
+            assert bm.count() == 1
+            assert bm.cumulative() == 0
+            raw = bm.to_bytes()
+            assert len(raw) == (nbits + 7) // 8
+            assert raw[-1] == 1 << ((nbits - 1) % 8)
+            # Setting every bit fills the tail byte only up to nbits.
+            for i in range(nbits - 1):
+                bm.set(i)
+            assert bm.all_set()
+            assert bm.as_array().sum() == nbits
+
+    def test_empty_bitmap_queries(self):
+        # "Empty" = allocated but nothing received yet.
+        bm = Bitmap(40)
+        assert not bm.any_set()
+        assert bm.count() == 0
+        assert bm.cumulative() == 0
+        assert list(bm.missing()) == list(range(40))
+        assert bm.set_indices().size == 0
+        assert not any(bm)
+        assert bm.to_bytes() == b"\x00" * 5
+
+    def test_packed_roundtrip_stability(self):
+        # from_bytes(to_bytes()) must be a fixpoint: re-encoding the clone
+        # yields byte-identical wire bytes, including the padding byte.
+        rng = np.random.default_rng(21)
+        for nbits in (1, 7, 8, 9, 63, 64, 65, 200):
+            bm = Bitmap.from_indices(
+                nbits, rng.choice(nbits, size=max(1, nbits // 3), replace=False)
+            )
+            wire = bm.to_bytes()
+            clone = Bitmap.from_bytes(nbits, wire)
+            assert clone.to_bytes() == wire
+            assert clone.count() == bm.count()
+            assert np.array_equal(clone.as_array(), bm.as_array())
+
+    def test_clear_across_word_boundary(self):
+        bm = Bitmap(12)
+        for i in range(12):
+            bm.set(i)
+        assert bm.clear(8)  # first bit of the second byte
+        assert bm.cumulative() == 8
+        assert list(bm.missing()) == [8]
+        assert bm.set(8)
+        assert bm.all_set()

@@ -145,8 +145,13 @@ class TestCodecInterface:
         assert isinstance(get_codec("XOR", 4, 2), XorCode)
         with pytest.raises(ConfigError):
             get_codec("fountain", 4, 2)
+        # Re-registering the *same* factory is an idempotent no-op (module
+        # re-imports must not explode)...
+        register_codec("mds", ReedSolomonCode)
+        assert isinstance(get_codec("mds", 4, 2), ReedSolomonCode)
+        # ...but silently replacing a name with a different factory is not.
         with pytest.raises(ConfigError):
-            register_codec("mds", ReedSolomonCode)
+            register_codec("mds", XorCode)
 
     def test_parity_ratio_and_rate(self):
         code = get_codec("mds", 32, 8)
@@ -183,7 +188,33 @@ class TestCodecInterface:
         with pytest.raises(ConfigError):
             get_codec("mds", 0, 2)
         with pytest.raises(ConfigError):
+            get_codec("mds", -1, 2)
+        with pytest.raises(ConfigError):
+            get_codec("mds", 4, 0)
+        with pytest.raises(ConfigError):
+            get_codec("mds", 4, -2)
+        with pytest.raises(ConfigError):
             get_codec("mds", 250, 50)  # k + m > 256
+
+    def test_reed_solomon_needs_255_symbols(self):
+        # The base class admits k + m = 256, but RS Vandermonde bases are
+        # nonzero GF(256) elements -- only 255 exist.
+        with pytest.raises(ConfigError, match="255"):
+            ReedSolomonCode(200, 56)
+        assert ReedSolomonCode(200, 55).k == 200
+
+    def test_decode_rejects_mismatched_chunk_sizes(self):
+        code = get_codec("mds", 4, 2)
+        data = random_data(4, 32, seed=13)
+        chunks = coded_chunks(code, data)
+        chunks[2] = np.zeros(16, np.uint8)  # wrong chunk_bytes
+        with pytest.raises(ConfigError):
+            code.decode(chunks)
+
+    def test_decode_rejects_out_of_range_index(self):
+        code = get_codec("mds", 4, 2)
+        with pytest.raises(ConfigError, match="out of range"):
+            code.decode({6: np.zeros(32, np.uint8)})
 
 
 @settings(max_examples=30, deadline=None)

@@ -1,0 +1,146 @@
+"""Deterministic erasure-pattern fuzz across every codec.
+
+RngStreams-driven (same seed -> same masks, cross-process stable) random
+erasure sweeps over RS, XOR, segmented and 2-D codes; every mask must
+either decode to the exact original bytes or raise a clean
+:class:`DecodeFailure` -- never a wrong answer, never a stray exception.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common.errors import DecodeFailure
+from repro.ec import (
+    ReedSolomonCode,
+    Rs2dCode,
+    SegmentedCode,
+    XorCode,
+    get_codec,
+)
+from repro.sim.rng import RngStreams
+
+from tests.ec.test_codecs import coded_chunks, random_data
+
+CODES = [
+    pytest.param(lambda: ReedSolomonCode(8, 3), id="rs-8-3"),
+    pytest.param(lambda: ReedSolomonCode(16, 8), id="rs-16-8"),
+    pytest.param(lambda: XorCode(8, 4), id="xor-8-4"),
+    pytest.param(lambda: Rs2dCode(3, 4, 1, 2), id="rs2d-3x4"),
+    pytest.param(lambda: get_codec("rs2d", 16, 8), id="rs2d-4x4"),
+]
+
+
+@pytest.mark.parametrize("factory", CODES)
+def test_random_masks_decode_or_fail_cleanly(factory):
+    code = factory()
+    total = code.k + code.m
+    data = random_data(code.k, 24, seed=code.k * 31 + code.m)
+    rng = RngStreams(1234).get(f"fuzz.{code!r}")
+    for trial in range(150):
+        present = rng.random(total) > rng.uniform(0.05, 0.6)
+        chunks = coded_chunks(code, data)
+        for idx in np.flatnonzero(~present):
+            del chunks[int(idx)]
+        if code.recoverable(present):
+            assert np.array_equal(code.decode(chunks), data), (
+                f"trial {trial}: recoverable mask decoded wrong bytes"
+            )
+        else:
+            with pytest.raises(DecodeFailure):
+                code.decode(chunks)
+
+
+@pytest.mark.parametrize("factory", CODES)
+def test_exactly_k_survivors_always_decode_for_mds(factory):
+    """Any k survivors decode for MDS codes; for the structured codes
+    (XOR groups, 2-D peel) the predicate decides -- but the two must agree."""
+    code = factory()
+    total = code.k + code.m
+    data = random_data(code.k, 16, seed=7)
+    rng = RngStreams(99).get(f"fuzz.exactk.{code!r}")
+    mds = isinstance(code, ReedSolomonCode)
+    for _ in range(60):
+        keep = rng.choice(total, size=code.k, replace=False)
+        present = np.zeros(total, dtype=bool)
+        present[keep] = True
+        chunks = coded_chunks(code, data)
+        for idx in np.flatnonzero(~present):
+            del chunks[int(idx)]
+        if mds:
+            assert code.recoverable(present)
+        if code.recoverable(present):
+            assert np.array_equal(code.decode(chunks), data)
+        else:
+            with pytest.raises(DecodeFailure):
+                code.decode(chunks)
+
+
+@pytest.mark.parametrize("factory", CODES)
+def test_just_unrecoverable_patterns_fail_cleanly(factory):
+    """k-1 survivors can never decode (information-theoretic floor)."""
+    code = factory()
+    total = code.k + code.m
+    data = random_data(code.k, 16, seed=8)
+    rng = RngStreams(77).get(f"fuzz.floor.{code!r}")
+    for _ in range(40):
+        keep = rng.choice(total, size=code.k - 1, replace=False)
+        present = np.zeros(total, dtype=bool)
+        present[keep] = True
+        assert not code.recoverable(present)
+        chunks = coded_chunks(code, data)
+        for idx in np.flatnonzero(~present):
+            del chunks[int(idx)]
+        with pytest.raises(DecodeFailure):
+            code.decode(chunks)
+
+
+def test_segmented_fuzz_over_message_sizes():
+    code = SegmentedCode(ReedSolomonCode(4, 2), chunk_bytes=16)
+    rng = RngStreams(555).get("fuzz.segmented")
+    for trial in range(60):
+        length = int(rng.integers(1, 400))
+        payload = rng.integers(0, 256, length, dtype=np.uint8).tobytes()
+        layout = code.layout(length)
+        # Build the full global chunk map, then erase at random.
+        chunks: dict[int, np.ndarray] = {}
+        for seg in range(layout.nsegments):
+            start, real = layout.chunk_range(seg)
+            seg_data = code.segment_data(payload, layout, seg)
+            for j in range(real):
+                chunks[start + j] = seg_data[j]
+            parity = code.base.encode(seg_data)
+            for j in range(layout.m):
+                chunks[layout.nchunks + seg * layout.m + j] = parity[j]
+        drop_p = float(rng.uniform(0.0, 0.4))
+        erased = [idx for idx in list(chunks) if rng.random() < drop_p]
+        # Per-segment recoverability: count surviving coded chunks,
+        # remembering padding chunks are implicit survivors.
+        decodable = True
+        for seg in range(layout.nsegments):
+            start, real = layout.chunk_range(seg)
+            have = sum(
+                1 for j in range(real) if start + j in chunks
+                and start + j not in erased
+            ) + (layout.k - real)  # implicit padding
+            have += sum(
+                1 for j in range(layout.m)
+                if layout.nchunks + seg * layout.m + j not in erased
+            )
+            if have < layout.k:
+                decodable = False
+        for idx in erased:
+            del chunks[idx]
+        if decodable:
+            assert code.decode(length, chunks) == payload, f"trial {trial}"
+        else:
+            with pytest.raises(DecodeFailure):
+                code.decode(length, chunks)
+
+
+def test_same_seed_same_masks():
+    """The fuzz driver itself is deterministic (RngStreams substreams)."""
+    a = RngStreams(42).get("fuzz.determinism").random(64)
+    b = RngStreams(42).get("fuzz.determinism").random(64)
+    assert np.array_equal(a, b)

@@ -1,0 +1,89 @@
+"""Sampling-mode chaos matrix: WAN loss + fault windows, liveness gated.
+
+The ``ec-sampling-smoke`` CI job runs this module across seeds
+(``pytest -m sampling --chaos-seed N``): the availability-sampling
+reliability mode must keep delivering -- or fail with a clean error, never
+wedge -- under Fig 2 WAN loss combined with blackout-style fault windows,
+and same-seed runs must trace byte-identically.
+"""
+
+import io
+
+import pytest
+
+from repro.common.errors import ReproError
+from repro.common.units import KiB, distance_to_rtt
+from repro.faults import named_schedule
+from repro.reliability.sampling import SamplingConfig
+from repro.telemetry import JsonlSink, Telemetry
+from repro.telemetry.demo import run_demo
+
+pytestmark = [pytest.mark.chaos, pytest.mark.sampling]
+
+DISTANCE_KM = 1000.0
+RTT = distance_to_rtt(DISTANCE_KM)
+
+#: Hardened sampling config: bounded budgets + resumption backstop so every
+#: write terminates inside the matrix horizon.
+HARDENED = SamplingConfig(
+    max_message_retransmits=2000,
+    serve_deadline_rtts=600.0,
+    max_resumptions=4,
+)
+
+#: Fault windows of the matrix: link loss storms and both-sided blackouts.
+SCHEDULES = ("blackout", "brownout", "ack-blackout", "chaos-mix")
+
+#: Fig 2 WAN loss regime: up to percent-scale residual packet loss.
+WAN_DROPS = (0.001, 0.02)
+
+
+@pytest.mark.parametrize("drop", WAN_DROPS)
+@pytest.mark.parametrize("schedule_name", SCHEDULES)
+def test_sampling_liveness_matrix(schedule_name, drop, chaos_seed):
+    schedule = named_schedule(schedule_name, rtt=RTT)
+    result = run_demo(
+        protocol="sampling",
+        messages=6,
+        message_bytes=256 * KiB,
+        drop=drop,
+        distance_km=DISTANCE_KM,
+        seed=chaos_seed,
+        faults=schedule,
+        sampling_config=HARDENED,
+    )
+    for ticket in result.write_tickets:
+        assert ticket.done.triggered, (
+            f"{schedule_name} x drop={drop}: write seq={ticket.seq} wedged"
+        )
+        if ticket.failed:
+            with pytest.raises(ReproError):
+                ticket.done.value
+    assert result.failed_writes < result.messages
+
+
+def _traced_run(seed):
+    buf = io.StringIO()
+    run_demo(
+        protocol="sampling",
+        messages=4,
+        message_bytes=256 * KiB,
+        drop=0.02,
+        distance_km=DISTANCE_KM,
+        seed=seed,
+        faults=named_schedule("chaos-mix", rtt=RTT),
+        sampling_config=HARDENED,
+        telemetry=Telemetry(trace=True, trace_sinks=[JsonlSink(buf)]),
+    )
+    return buf.getvalue()
+
+
+def test_same_seed_sampling_chaos_traces_byte_identical(chaos_seed):
+    first = _traced_run(chaos_seed)
+    second = _traced_run(chaos_seed)
+    assert first
+    assert first == second
+
+
+def test_different_seed_sampling_chaos_traces_differ(chaos_seed):
+    assert _traced_run(chaos_seed) != _traced_run(chaos_seed + 1)

@@ -5,6 +5,11 @@ from __future__ import annotations
 import numpy as np
 
 from repro.reliability.ec import EcConfig, EcReceiver, EcSender
+from repro.reliability.sampling import (
+    SamplingConfig,
+    SamplingReceiver,
+    SamplingSender,
+)
 from repro.reliability.sr import SrConfig, SrReceiver, SrSender
 
 from tests.conftest import SdrPair, make_sdr_pair
@@ -36,6 +41,20 @@ def make_ec(
     cfg = config if config is not None else EcConfig(k=8, m=4)
     sender = EcSender(pair.qp_a, pair.ctrl_a, cfg)
     receiver = EcReceiver(pair.qp_b, pair.ctrl_b, cfg)
+    return pair, sender, receiver
+
+
+def make_sampling(
+    *,
+    drop: float = 0.0,
+    config: SamplingConfig | None = None,
+    seed: int = 0,
+    **pair_kw,
+) -> tuple[SdrPair, SamplingSender, SamplingReceiver]:
+    pair = make_sdr_pair(drop=drop, seed=seed, **pair_kw)
+    cfg = config if config is not None else SamplingConfig()
+    sender = SamplingSender(pair.qp_a, pair.ctrl_a, cfg)
+    receiver = SamplingReceiver(pair.qp_b, pair.ctrl_b, cfg)
     return pair, sender, receiver
 
 

@@ -46,7 +46,7 @@ def produced_prefixes() -> set[str]:
     """Top-level prefixes from real runs covering every producer."""
     names: set[str] = set()
     rtt = distance_to_rtt(1000.0)
-    for protocol in ("sr", "ec", "adaptive"):
+    for protocol in ("sr", "ec", "adaptive", "sampling"):
         ring = RingBufferSink(capacity=1 << 20)
         telemetry = Telemetry(trace=True, trace_sinks=[ring])
         result = run_demo(
