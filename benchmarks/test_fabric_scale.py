@@ -51,3 +51,73 @@ def test_fabric_scale_completes_deterministically(benchmark):
     # Same seed, same config => byte-identical metrics snapshot.
     assert first.digest == second.digest
     assert first.messages == second.messages
+
+
+def test_fabric_scale_fluid_speedup(benchmark):
+    """The fabric-side --fast-path acceptance gate.
+
+    Pinned bulk-heavy mix (200 tenants, 8 MiB mean messages over the
+    two-tier WAN): the fluid fast path must run >= 5x faster than packet
+    mode with aggregate goodput within 1%, zero spurious retransmits
+    (packet parity), and a same-seed byte-identical digest across two
+    fluid runs.
+    """
+    import time
+    from dataclasses import replace
+
+    from repro.common.units import MiB
+
+    config = ScaleConfig(
+        tenants=200,
+        duration=0.02,
+        offered_load_bps=120e9,
+        tors=4,
+        hosts_per_tor=4,
+        mean_message_bytes=8 * MiB,
+        max_message_bytes=32 * MiB,
+    )
+
+    t0 = time.perf_counter()
+    pkt = scale_scenario(replace(config, fluid=False))
+    t_pkt = time.perf_counter() - t0
+
+    def run():
+        t0 = time.perf_counter()
+        first = scale_scenario(replace(config, fluid=True))
+        t_fl = time.perf_counter() - t0
+        second = scale_scenario(replace(config, fluid=True))
+
+        def retx(res):
+            return sum(r.retransmits for r in res.reports)
+
+        def goodput(res):
+            return sum(r.goodput_bps for r in res.reports)
+
+        speedup = t_pkt / t_fl
+        delta = abs(goodput(first) - goodput(pkt)) / goodput(pkt) * 100.0
+        table = Table(
+            title=(
+                f"Fabric scale fluid fast path: {config.tenants} tenants, "
+                f"{config.mean_message_bytes // MiB} MiB mean messages"
+            ),
+            columns=[
+                "packet_s", "fluid_s", "speedup", "goodput_delta_pct",
+                "retx_packet", "retx_fluid", "digests_match",
+            ],
+            notes="gate: speedup >= 5x, goodput within 1%, deterministic",
+        )
+        table.add_row(
+            round(t_pkt, 3), round(t_fl, 3), round(speedup, 2),
+            round(delta, 4), retx(pkt), retx(first),
+            first.digest == second.digest,
+        )
+        return table, first, second, speedup, delta
+
+    table, first, second, speedup, delta = run_once(benchmark, lambda: run())
+    show(table)
+    assert first.completed == pkt.completed
+    assert first.failed == pkt.failed == 0
+    assert sum(r.retransmits for r in first.reports) == 0
+    assert first.digest == second.digest
+    assert speedup >= 5.0, f"fluid speedup {speedup:.1f}x below 5x gate"
+    assert delta <= 1.0, f"goodput delta {delta:.3f}% exceeds 1%"

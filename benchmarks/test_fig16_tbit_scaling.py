@@ -1,6 +1,9 @@
 """Figure 16: packet-rate scaling towards Tbit/s links (64 B writes)."""
 
+import time
+
 from repro.experiments import fig16
+from repro.experiments.report import Table
 
 from conftest import run_once, show
 
@@ -22,3 +25,44 @@ def test_fig16_packet_rate_scaling(benchmark):
     assert 11.0 <= rate_16 <= 17.0
     # Headline: 128 threads reach ~3.2 Tbit/s-equivalent at 4 KiB MTU.
     assert equiv[-1] > 2.8
+
+
+def test_fig16_fluid_speedup(benchmark):
+    """The --fast-path acceptance gate: the fluid solver must run the
+    Figure 16 sweep >= 10x faster than packet mode while reproducing
+    every packet-rate and equivalent-bandwidth cell within 1%.
+
+    Wall clock for the packet run is measured here (not via
+    pytest-benchmark, which times only the fluid run) so the recorded
+    BENCH json carries both sides of the ratio.
+    """
+
+    t0 = time.perf_counter()
+    pkt = fig16.run(n_messages=10)
+    t_pkt = time.perf_counter() - t0
+
+    def run_fluid():
+        return fig16.run(n_messages=10, fluid=True)
+
+    t0 = time.perf_counter()
+    fl = run_once(benchmark, run_fluid)
+    t_fl = time.perf_counter() - t0
+
+    speedup = t_pkt / t_fl
+    gate = Table(
+        title="Figure 16 fluid fast path: wall-clock speedup vs packet mode",
+        columns=["packet_s", "fluid_s", "speedup", "max_metric_delta_pct"],
+        notes="gate: speedup >= 10x, every table cell within 1%",
+    )
+    worst = 0.0
+    for row_p, row_f in zip(pkt.rows, fl.rows):
+        assert row_p[0] == row_f[0]  # thread count
+        for vp, vf in zip(row_p[1:], row_f[1:]):
+            if vp:
+                worst = max(worst, abs(vf - vp) / abs(vp) * 100.0)
+    gate.add_row(round(t_pkt, 3), round(t_fl, 3), round(speedup, 2),
+                 round(worst, 4))
+    show(gate)
+
+    assert speedup >= 10.0, f"fluid speedup {speedup:.1f}x below 10x gate"
+    assert worst <= 1.0, f"fluid metric delta {worst:.3f}% exceeds 1%"

@@ -109,3 +109,63 @@ def test_profile_fabric_scale(benchmark):
     # Flow bookkeeping must show up by name in the hot set.
     names = " ".join(c["category"] for c in report["categories"][:12])
     assert "repro.fabric" in names, names
+
+
+def test_profile_fabric_scale_fluid(benchmark):
+    """The --fast-path event diet, measured by the profiler.
+
+    Same scenario family as :func:`test_profile_fabric_scale`, but a
+    bulk-heavy mix run in both modes: fluid mode must book >= 10x fewer
+    heap events per simulated second (each remaining event carries a
+    whole vectorized segment), which is what raises the engine's
+    effective throughput floor.  Attribution must name the fluid
+    booking code (``repro.fabric`` / ``repro.sim``), not ``other`` --
+    the ``call_at`` ``__wrapped__`` tagging regression.
+    """
+    from dataclasses import replace
+
+    from repro.common.units import MiB
+    from repro.fabric import ScaleConfig, scale_scenario
+
+    config = ScaleConfig(
+        tenants=200,
+        duration=0.02,
+        offered_load_bps=120e9,
+        tors=4,
+        hosts_per_tor=4,
+        mean_message_bytes=8 * MiB,
+        max_message_bytes=32 * MiB,
+    )
+
+    def profiled(fluid):
+        profiler = SimProfiler()
+        telemetry = Telemetry(profiler=profiler)
+        start = time.perf_counter()
+        result = scale_scenario(replace(config, fluid=fluid), telemetry=telemetry)
+        wall = time.perf_counter() - start
+        assert result.completed + result.failed == result.messages
+        return profiler.report(wall_seconds=wall), profiler
+
+    pkt_report, _ = profiled(False)
+
+    def run():
+        report, profiler = profiled(True)
+        path = _write_profile("fabric_scale_fluid", report)
+        show(profiler.table())
+        print(f"profile written to {path}")
+        return report
+
+    report = benchmark.pedantic(run, iterations=1, rounds=1)
+
+    assert report["events"] > 0
+    assert report["sim_seconds"] > 0
+    # The event diet: heap events per simulated second must collapse.
+    pkt_density = pkt_report["events"] / pkt_report["sim_seconds"]
+    fluid_density = report["events"] / report["sim_seconds"]
+    assert fluid_density * 10.0 <= pkt_density, (
+        f"fluid mode still books {fluid_density:.0f} events per sim-second "
+        f"vs {pkt_density:.0f} in packet mode (< 10x reduction)"
+    )
+    # Attribution points at the fluid booking path by module name.
+    names = " ".join(c["category"] for c in report["categories"][:12])
+    assert "repro." in names, names

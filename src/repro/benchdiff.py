@@ -1,0 +1,178 @@
+"""Compare fresh ``BENCH_*.json`` results against committed baselines.
+
+Every benchmark run records a machine-readable baseline (see
+``benchmarks/conftest.py``): the regenerated paper tables (simulated-time
+metrics -- deterministic for a given seed) plus pytest-benchmark wall-clock
+stats (noisy, machine-dependent).  ``repro bench diff`` walks a fresh
+results directory, pairs each file with its committed counterpart by name,
+and reports per-metric percentage deltas.
+
+Only simulated-time metrics participate in gating (``--threshold``):
+they move only when the code's behaviour moves, so any delta is signal.
+Wall-clock deltas are reported alongside for context but never fail the
+run -- CI machines are too noisy for that to be a useful gate.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.experiments.report import Table
+
+__all__ = ["BenchDelta", "DiffReport", "diff_dirs", "render_diff"]
+
+
+@dataclass(frozen=True)
+class BenchDelta:
+    """One metric's movement between baseline and fresh runs."""
+
+    bench: str  #: benchmark name (file stem without BENCH_ prefix)
+    metric: str  #: "<table>[<row-key>].<column>" or "wall.<stat>"
+    baseline: float
+    fresh: float
+    #: Percentage change; ``inf`` when the baseline was exactly zero.
+    pct: float
+    #: Wall-clock stats are reported but never gate the exit status.
+    gated: bool = True
+
+
+@dataclass
+class DiffReport:
+    deltas: list[BenchDelta] = field(default_factory=list)
+    #: Fresh files with no committed counterpart.
+    added: list[str] = field(default_factory=list)
+    #: Committed files the fresh run did not regenerate.
+    missing: list[str] = field(default_factory=list)
+    #: Non-numeric cells that changed (digests, booleans, labels).
+    changed_text: list[tuple[str, str, Any, Any]] = field(default_factory=list)
+
+    def worst(self) -> BenchDelta | None:
+        gated = [d for d in self.deltas if d.gated]
+        if not gated:
+            return None
+        return max(gated, key=lambda d: abs(d.pct))
+
+    def breaches(self, threshold_pct: float) -> list[BenchDelta]:
+        return [
+            d
+            for d in self.deltas
+            if d.gated and abs(d.pct) > threshold_pct
+        ]
+
+
+def _load_dir(path: str) -> dict[str, dict]:
+    out: dict[str, dict] = {}
+    if not os.path.isdir(path):
+        return out
+    for fname in sorted(os.listdir(path)):
+        if not (fname.startswith("BENCH_") and fname.endswith(".json")):
+            continue
+        try:
+            with open(os.path.join(path, fname), encoding="utf-8") as fh:
+                out[fname] = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            continue
+    return out
+
+
+def _pct(baseline: float, fresh: float) -> float:
+    if baseline == 0.0:
+        return 0.0 if fresh == 0.0 else math.inf
+    return (fresh - baseline) / abs(baseline) * 100.0
+
+
+def _is_number(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _row_key(row: list) -> str:
+    """Label a row by its first cell -- conventionally the x-axis value."""
+    return str(row[0]) if row else "?"
+
+
+def _diff_tables(name: str, base: dict, fresh: dict, report: DiffReport) -> None:
+    fresh_tables = {t.get("title", ""): t for t in fresh.get("tables", [])}
+    for btab in base.get("tables", []):
+        title = btab.get("title", "")
+        ftab = fresh_tables.get(title)
+        if ftab is None:
+            continue
+        columns = btab.get("columns", [])
+        # Rows are paired positionally: regenerated tables keep a
+        # deterministic order, and first-column keys may repeat.
+        for brow, frow in zip(btab.get("rows", []), ftab.get("rows", [])):
+            for i, col in enumerate(columns):
+                if i >= len(brow) or i >= len(frow):
+                    continue
+                bval, fval = brow[i], frow[i]
+                metric = f"{title}[{_row_key(brow)}].{col}"
+                if _is_number(bval) and _is_number(fval):
+                    if i == 0:
+                        continue  # the row key itself
+                    report.deltas.append(
+                        BenchDelta(
+                            bench=name,
+                            metric=metric,
+                            baseline=float(bval),
+                            fresh=float(fval),
+                            pct=_pct(float(bval), float(fval)),
+                        )
+                    )
+                elif bval != fval:
+                    report.changed_text.append((name, metric, bval, fval))
+
+
+def _diff_wall(name: str, base: dict, fresh: dict, report: DiffReport) -> None:
+    bwall = base.get("wall_clock", {})
+    fwall = fresh.get("wall_clock", {})
+    for stat in ("min", "mean"):
+        if stat in bwall and stat in fwall:
+            report.deltas.append(
+                BenchDelta(
+                    bench=name,
+                    metric=f"wall.{stat}",
+                    baseline=float(bwall[stat]),
+                    fresh=float(fwall[stat]),
+                    pct=_pct(float(bwall[stat]), float(fwall[stat])),
+                    gated=False,
+                )
+            )
+
+
+def diff_dirs(fresh_dir: str, baseline_dir: str) -> DiffReport:
+    """Pair ``BENCH_*.json`` files by name and diff every metric."""
+    baseline = _load_dir(baseline_dir)
+    fresh = _load_dir(fresh_dir)
+    report = DiffReport()
+    report.added = sorted(set(fresh) - set(baseline))
+    report.missing = sorted(set(baseline) - set(fresh))
+    for fname in sorted(set(baseline) & set(fresh)):
+        name = fname[len("BENCH_"):-len(".json")]
+        _diff_tables(name, baseline[fname], fresh[fname], report)
+        _diff_wall(name, baseline[fname], fresh[fname], report)
+    return report
+
+
+def render_diff(report: DiffReport, *, limit: int = 30) -> Table:
+    """Largest movers first; wall-clock rows marked un-gated."""
+    table = Table(
+        title="Benchmark diff: fresh vs baseline",
+        columns=["benchmark", "metric", "baseline", "fresh", "delta_pct", "gated"],
+        notes="simulated-time metrics gate --threshold; wall-clock is "
+              "informational",
+    )
+    ranked = sorted(report.deltas, key=lambda d: -abs(d.pct))
+    for d in ranked[:limit]:
+        table.add_row(
+            d.bench,
+            d.metric if len(d.metric) <= 60 else d.metric[:57] + "...",
+            round(d.baseline, 6),
+            round(d.fresh, 6),
+            "inf" if math.isinf(d.pct) else round(d.pct, 3),
+            "yes" if d.gated else "no",
+        )
+    return table

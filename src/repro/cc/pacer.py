@@ -41,6 +41,8 @@ delay out of its plane-health latency signal.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.cc.controller import RateController
 from repro.common.errors import ConfigError
 from repro.common.units import KiB
@@ -110,6 +112,35 @@ class TokenBucketGroup:
         if tokens >= 0.0:
             return 0.0
         return -tokens / rate
+
+    def reserve_batch(
+        self, cum_bytes: np.ndarray, plane: int = 0
+    ) -> np.ndarray | None:
+        """Charge a run of same-instant reserves in one call.
+
+        ``cum_bytes`` is the inclusive cumulative byte count of the run
+        (``np.cumsum(sizes)``).  Because every reserve in the run shares
+        one ``sim.now``, the bucket refills once and each reserve's wait
+        is a pure function of the running charge -- so the whole run
+        collapses to one vectorized expression, returning exactly the
+        waits ``len(cum_bytes)`` sequential :meth:`reserve` calls would.
+        Returns ``None`` for a ``None`` controller rate (unpaced: all
+        waits zero, no state touched).
+        """
+        rate_bps = self.controller.rate_bps
+        if rate_bps is None:
+            return None
+        rate = self._plane_rate(rate_bps)
+        now = self.sim.now
+        tokens = min(
+            float(self.burst_bytes),
+            self._tokens[plane] + (now - self._last[plane]) * rate,
+        )
+        waits = (cum_bytes - tokens) / rate
+        np.maximum(waits, 0.0, out=waits)
+        self._tokens[plane] = tokens - float(cum_bytes[-1])
+        self._last[plane] = now
+        return waits
 
     def backlog_seconds(self, plane: int) -> float:
         """Seconds of pacing deficit currently queued on ``plane``'s bucket."""
@@ -211,6 +242,20 @@ class Pacer:
         wait = self.buckets.reserve(nbytes, self.plane_of(flow))
         self._m_paced.inc()
         return wait
+
+    def reserve_batch(
+        self, cum_bytes: np.ndarray, *, flow: int = 0
+    ) -> np.ndarray | None:
+        """Batch :meth:`reserve`: one charge for a same-instant run.
+
+        See :meth:`TokenBucketGroup.reserve_batch`; waits are identical
+        to sequential per-packet reserves.  ``None`` means unpaced.
+        """
+        if self.controller.rate_bps is None:
+            return None
+        waits = self.buckets.reserve_batch(cum_bytes, self.plane_of(flow))
+        self._m_paced.inc(len(cum_bytes))
+        return waits
 
     def note_stall(self, seconds: float) -> None:
         """Record one pacing stall (called by the injector before sleeping)."""

@@ -16,7 +16,7 @@ from repro.common.config import ChannelConfig, DpaConfig, SdrConfig
 from repro.common.errors import ConfigError
 from repro.sdr.context import SdrContext, context_create
 from repro.sdr.qp import SdrQp, SdrRecvWr, SdrSendWr
-from repro.sim.engine import Simulator
+from repro.sim.engine import SimConfig, Simulator
 from repro.verbs.device import Fabric
 from repro.verbs.qp import RcQp, SendWr
 from repro.verbs.cq import CompletionQueue
@@ -43,6 +43,7 @@ class SdrTestbed:
         sdr: SdrConfig | None = None,
         dpa: DpaConfig | None = None,
         seed: int = 0,
+        sim_config: SimConfig | None = None,
     ) -> "SdrTestbed":
         channel = channel if channel is not None else ChannelConfig()
         sdr = sdr if sdr is not None else SdrConfig()
@@ -52,7 +53,7 @@ class SdrTestbed:
                 f"SDR MTU {sdr.mtu_bytes} must match channel MTU "
                 f"{channel.mtu_bytes}"
             )
-        sim = Simulator()
+        sim = Simulator(config=sim_config)
         fabric = Fabric(sim, seed=seed)
         client_dev = fabric.add_device("client")
         server_dev = fabric.add_device("server")
@@ -106,11 +107,14 @@ def run_sdr_throughput(
     sdr: SdrConfig | None = None,
     dpa: DpaConfig | None = None,
     seed: int = 0,
+    sim_config: SimConfig | None = None,
 ) -> ThroughputResult:
     """The paper's ``ib_write_bw``-style SDR benchmark loop (Section 5.4.1)."""
     if n_messages <= 0 or inflight <= 0:
         raise ConfigError("n_messages and inflight must be positive")
-    bed = SdrTestbed.build(channel=channel, sdr=sdr, dpa=dpa, seed=seed)
+    bed = SdrTestbed.build(
+        channel=channel, sdr=sdr, dpa=dpa, seed=seed, sim_config=sim_config
+    )
     sim = bed.sim
     server_mr = bed.server_ctx.mr_reg(message_bytes, name="server.buf")
     done = sim.event()

@@ -37,7 +37,7 @@ from repro.fabric.report import (
 )
 from repro.fabric.service import FabricService, FabricServiceConfig, TenantSpec
 from repro.fabric.topology import FabricNetwork, dumbbell, two_tier
-from repro.sim.engine import Simulator
+from repro.sim.engine import SimConfig, Simulator
 from repro.telemetry import (
     SloConfig,
     SloSummary,
@@ -364,6 +364,11 @@ class ScaleConfig:
     rate_skew: float = 1.8
     #: Per-tenant quota as a multiple of the tenant's fair share.
     quota_headroom: float = 8.0
+    #: Run the simulator with the fluid fast path (``--fast-path``): whole
+    #: segment journeys are booked synchronously instead of relayed hop by
+    #: hop.  Same seed + same flag stays byte-identical; fluid vs packet
+    #: digests differ (documented approximation, see docs/simulation.md).
+    fluid: bool = False
 
     def __post_init__(self) -> None:
         if self.tenants < 1:
@@ -415,7 +420,9 @@ def scale_scenario(
             ecn_threshold_bytes=1 * MiB,
         ),
     )
-    sim = Simulator(telemetry=telemetry)
+    sim = Simulator(
+        telemetry=telemetry, config=SimConfig(fluid=config.fluid)
+    )
     network = FabricNetwork(sim, topo, seed=config.seed)
     service = FabricService(
         network, config=FabricServiceConfig(cc=config.cc, max_flows_per_qp=256)

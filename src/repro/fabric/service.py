@@ -267,7 +267,7 @@ class _FlowState:
     __slots__ = (
         "ticket", "pair", "qp", "segments", "seg_bytes", "remaining",
         "acked", "attempt", "uid", "sent_path", "route_lost_at",
-        "resumptions", "max_acked",
+        "resumptions", "max_acked", "fluid_sizes", "fluid_sends",
     )
 
     def __init__(self, ticket, pair, qp, segments, seg_bytes):
@@ -289,6 +289,10 @@ class _FlowState:
         self.resumptions = 0
         #: Highest segment index ACKed so far (reorder detection).
         self.max_acked = -1
+        #: Fluid fast path only: per-segment sizes and admission-charged
+        #: send times, computed once at flow admission (None otherwise).
+        self.fluid_sizes: np.ndarray | None = None
+        self.fluid_sends: np.ndarray | None = None
 
     def seg_size(self, idx: int) -> int:
         if idx < self.segments - 1:
@@ -441,8 +445,23 @@ class FabricService:
         self._m_flows_submitted.inc()
         self._m_bytes_submitted.inc(nbytes)
         state.metrics.flows_submitted.inc()
-        self.sim.call_at(start, lambda: self.sim.process(self._run_flow(ticket)))
+        self.sim.call_at(start, lambda: self._start_flow(ticket))
         return ticket
+
+    def _start_flow(self, ticket: FlowTicket) -> None:
+        """Launch one flow: fluid callback chain or the event-driven
+        generator (default, and the fallback for monitored fabrics or
+        routes a fluid run cannot book)."""
+        if self.sim.config.fluid and self.net.health is None:
+            try:
+                pair = self._pair(ticket.src, ticket.dst)
+            except ConfigError:
+                pass  # no route: the generator's partition poll handles it
+            else:
+                if self.net.fluid_plan(pair.path) is not None:
+                    self._start_flow_fluid(ticket, pair)
+                    return
+        self.sim.process(self._run_flow(ticket))
 
     # -- flow lifecycle --------------------------------------------------------
 
@@ -522,6 +541,425 @@ class FabricService:
         if ticket.completed is not None:
             tenant.completion_times.append(ticket.span)
 
+    # -- fluid flow lifecycle --------------------------------------------------
+
+    def _start_flow_fluid(self, ticket: FlowTicket, pair: _PairState) -> None:
+        """Fluid flow runner: no generator, no per-segment stall timeouts.
+
+        The event-driven :meth:`_run_flow` sleeps between segments while
+        the admission buckets refill; for fixed-rate token buckets,
+        reserving every segment upfront yields the *same* absolute send
+        times (debt drains linearly), so the fluid runner charges all
+        reservations at admission and books each segment's journey at its
+        computed send instant.  What is lost is intra-flow feedback: a
+        congestion controller's rate change mid-flow no longer shifts the
+        flow's own later segments -- a documented fluid approximation
+        (``docs/simulation.md``).
+        """
+        if self._trace.enabled:
+            self._trace.instant(
+                "msg_post", cat="fabric", track=f"{self.name}.{ticket.src}",
+                msg=ticket.seq, bytes=ticket.nbytes, tenant=ticket.tenant,
+                chunks=max(
+                    1, math.ceil(ticket.nbytes / self.config.segment_bytes)
+                ),
+            )
+        self._admit_flow_fluid(ticket, pair)
+
+    def _admit_flow_fluid(self, ticket: FlowTicket, pair: _PairState) -> None:
+        """QP-pool admission, callback-shaped (mirrors the generator's
+        least-loaded/FIFO-wait loop, re-checking after every gate)."""
+        qp = min(pair.qps, key=lambda q: (q.active, q.index))
+        if qp.active >= self.config.max_flows_per_qp:
+            gate = self.sim.event()
+            pair.waiting.append(gate)
+            self._m_qp_waits.inc()
+            t0 = self.sim.now
+            gate.callbacks.append(
+                lambda _event: self._requeue_flow_fluid(ticket, pair, t0)
+            )
+            return
+        qp.active += 1
+        if qp.active == 1:
+            self._g_qps.add(1)
+        ticket.started = self.sim.now
+        segments = max(1, math.ceil(ticket.nbytes / self.config.segment_bytes))
+        state = _FlowState(ticket, pair, qp, segments, self.config.segment_bytes)
+        pair.flows.append(state)
+        ticket.done.callbacks.append(
+            lambda _event: self._finish_flow_fluid(state)
+        )
+        self._schedule_flow_fluid(state)
+
+    def _schedule_flow_fluid(self, state: _FlowState) -> None:
+        """Charge the whole flow's admission upfront; book tranche 0.
+
+        All three stacked buckets refill lazily and every reserve in
+        this flow shares one ``sim.now``, so the per-segment waits
+        collapse to vectorized cumulative-charge expressions -- exactly
+        the waits the packet generator's sequential reserves would
+        compute, minus intra-flow rate feedback (a documented fluid
+        approximation: a flow's schedule is fixed at admission).
+        """
+        ticket = state.ticket
+        pair = state.pair
+        tenant = self.tenants[ticket.tenant]
+        now = self.sim.now
+        nseg = state.segments
+        plan = self.net.fluid_plan(pair.path)
+        if nseg == 1:
+            # Scalar fast path: single-segment flows dominate a
+            # mice-heavy fabric, and ndarray setup costs more than the
+            # booking itself at n=1.
+            size = state.seg_size(0)
+            wait = self._admission_wait(tenant, state, size)
+            if wait > 0.0:
+                self._m_admission_stalls.inc()
+                self._m_admission_stall_seconds.inc(wait)
+                if self._trace.enabled:
+                    self._trace.instant(
+                        "cc_stall", cat="cc", track=f"{self.name}.{ticket.src}",
+                        msg=ticket.seq, chunk=0, stall=wait,
+                    )
+            state.sent_path[0] = pair.path
+            self._m_segments_sent.inc()
+            if plan is None:
+                self.sim.call_at(
+                    now + wait, lambda: self._send_segment(state, 0, 0)
+                )
+                return
+            if wait > self._fluid_window(pair, plan):
+                # A hot tenant's bucket debt can push the send many
+                # milliseconds out; booking that far ahead would shift
+                # edge rings past the arrivals other flows are booking
+                # now (see _book_flow_fluid).  Re-enter at the send.
+                send = now + wait
+                self.sim.call_at(
+                    send,
+                    lambda: self._book_one_deferred(state, size, send),
+                )
+                return
+            self._book_one_fluid(state, 0, size, now + wait, plan)
+            return
+        seg = state.seg_bytes
+        sizes = np.full(nseg, float(seg))
+        sizes[-1] = float(ticket.nbytes - (nseg - 1) * seg)
+        waits = self._admission_wait_batch(tenant, state, np.cumsum(sizes))
+        # Waits are nondecreasing (cumulative charges against buckets
+        # refilled once), so the stall increments telescope to the last.
+        stalls = int(np.count_nonzero(np.diff(waits, prepend=0.0) > 0.0))
+        if stalls:
+            self._m_admission_stalls.inc(stalls)
+            self._m_admission_stall_seconds.inc(float(waits[-1]))
+            if self._trace.enabled:
+                prev = 0.0
+                for idx in range(nseg):
+                    wait = float(waits[idx])
+                    if wait > prev:
+                        self._trace.instant(
+                            "cc_stall", cat="cc",
+                            track=f"{self.name}.{ticket.src}",
+                            msg=ticket.seq, chunk=idx, stall=wait - prev,
+                        )
+                        prev = wait
+        state.fluid_sizes = sizes
+        state.fluid_sends = now + waits
+        state.sent_path = [pair.path] * nseg
+        self._m_segments_sent.inc(nseg)
+        self._book_flow_fluid(state, 0)
+
+    def _fluid_window(self, pair: object, plan: tuple) -> float:
+        """Bookahead bound: smallest ring horizon along the path."""
+        window = pair.base_rtt
+        for channel, _owd in plan:
+            h = channel.fluid_horizon
+            if h < window:
+                window = h
+        return window
+
+    def _book_one_deferred(
+        self, state: _FlowState, size: int, send: float
+    ) -> None:
+        """Book a deferred single-segment flow, re-resolving the plan."""
+        if state.ticket.failed:
+            return
+        plan = self.net.fluid_plan(state.pair.path)
+        if plan is None:  # route mutated while waiting: finish eventfully
+            self.sim.call_at(
+                max(send, self.sim.now),
+                lambda: self._send_segment(state, 0, 0),
+            )
+            return
+        self._book_one_fluid(state, 0, size, send, plan)
+
+    def _admission_wait_batch(
+        self, tenant: TenantState, state: _FlowState, cum: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized :meth:`_admission_wait` over one flow's segments."""
+        ticket = state.ticket
+        waits = self._uplink(ticket.src).reserve_batch(cum)
+        if waits is None:
+            waits = np.zeros(len(cum))
+        if self.config.enforce_quotas and tenant.bucket is not None:
+            quota = tenant.bucket.reserve_batch(cum)
+            if quota is not None:
+                np.maximum(waits, quota, out=waits)
+        if tenant.spec.compliant:
+            paced = state.pair.pacer.reserve_batch(cum, flow=ticket.seq)
+            if paced is not None:
+                np.maximum(waits, paced, out=waits)
+        return waits
+
+    def _book_flow_fluid(self, state: _FlowState, start_idx: int) -> None:
+        """Book one tranche of a fluid flow's precomputed schedule.
+
+        Bookahead is bounded: only segments sending within one window of
+        now are booked; the rest re-enter via a continuation event one
+        window before the next send.  Each edge's booking ring retains a
+        finite span of arrival history (:attr:`Channel.fluid_horizon`),
+        so booking arbitrarily far ahead would shift rings forward and
+        discard buckets that flows starting a microsecond later still
+        need.  The window is the smallest horizon along the path.
+        """
+        ticket = state.ticket
+        if ticket.failed:
+            return
+        pair = state.pair
+        plan = self.net.fluid_plan(pair.path)
+        sends = state.fluid_sends
+        if plan is None:  # route mutated mid-flow: finish eventfully
+            now = self.sim.now
+            for idx in range(start_idx, state.segments):
+                self.sim.call_at(
+                    max(float(sends[idx]), now),
+                    lambda i=idx: self._send_segment(state, i, 0),
+                )
+            return
+        nseg = state.segments
+        now = self.sim.now
+        window = self._fluid_window(pair, plan)
+        first = float(sends[start_idx])
+        if first > now + window:
+            # Bucket debt pushed the next send beyond the bookahead
+            # window; booking it anyway would shift edge rings past the
+            # arrivals other flows are booking now.  Re-enter at the
+            # send instant, when a full window of sends is bookable.
+            self.sim.call_at(
+                first,
+                lambda i=start_idx: self._book_flow_fluid(state, i),
+            )
+            return
+        end = int(np.searchsorted(sends, now + window, side="right"))
+        if end <= start_idx:
+            end = start_idx + 1
+        if end > nseg:
+            end = nseg
+        if end < nseg:
+            self.sim.call_at(
+                float(sends[end]),
+                lambda i=end: self._book_flow_fluid(state, i),
+            )
+        n = end - start_idx
+        if n == 1:
+            self._book_one_fluid(
+                state, start_idx, int(state.fluid_sizes[start_idx]),
+                float(sends[start_idx]), plan,
+            )
+            return
+        tenant = self.tenants[ticket.tenant]
+        sizes = state.fluid_sizes[start_idx:end]
+        send_at = sends[start_idx:end]
+        # Chain the tranche down the path: one bulk booking per edge,
+        # survivors advance with each edge's serialization + propagation.
+        alive = np.arange(n)
+        times = send_at
+        ce = np.zeros(n, dtype=bool)
+        for channel, owd in plan:
+            dones, delivered, marked = channel.fluid_admit_chain(
+                sizes[alive], times, msg_seq=ticket.seq
+            )
+            if marked.any():
+                ce[alive[marked]] = True
+            alive = alive[delivered]
+            times = dones[delivered] + owd
+            if alive.size == 0:
+                break
+        acked_mask = np.zeros(n, dtype=bool)
+        if alive.size:
+            try:
+                ack_delay = self.net.path_one_way_delay(
+                    ticket.dst, ticket.src
+                )
+            except ConfigError:
+                ack_delay = None  # no reverse route: RTOs take over
+            if ack_delay is not None:
+                acked_mask[alive] = True
+                acks = [
+                    (
+                        start_idx + int(i),
+                        float(send_at[i]),
+                        float(t) + ack_delay,
+                        bool(ce[i]),
+                    )
+                    for i, t in zip(alive, times)
+                ]
+                if tenant.spec.compliant:
+                    # Synchronous feedback on a *virtual* clock: the
+                    # booked journey already fixes each segment's RTT, CE
+                    # mark and ACK instant, so the controller hears them
+                    # at booking time, stamped with the computed ACK time
+                    # (controllers rate-limit cuts per interval of their
+                    # clock; collapsing all feedback onto one sim.now
+                    # would allow a single cut and the core buffer would
+                    # tail-drop wholesale).  Earlier than reality by up
+                    # to one RTT -- a documented fluid approximation
+                    # (docs/simulation.md).
+                    controller = pair.pacer.controller
+                    for _i, seg_sent, seg_ack, seg_ce in acks:
+                        controller.on_rtt_sample(
+                            seg_ack - seg_sent, now=seg_ack
+                        )
+                        if seg_ce:
+                            self._m_ecn_echoes.inc()
+                            controller.on_ecn_echo(1, 1, now=seg_ack)
+                        else:
+                            controller.on_ack_progress(now=seg_ack)
+                # FIFO chaining keeps arrivals nondecreasing, so the last
+                # entry is the flow's final ACK: one event applies them all.
+                self.sim.call_at(
+                    acks[-1][2], lambda: self._on_flow_acks(state, acks)
+                )
+        rto = min(pair.rto_base, 4.0)  # attempt 0
+        for j in np.flatnonzero(~acked_mask):
+            self.sim.call_at(
+                float(send_at[j]) + rto,
+                lambda i=start_idx + int(j): self._on_rto(state, i, 0),
+            )
+
+    def _book_one_fluid(
+        self,
+        state: _FlowState,
+        idx: int,
+        size: int,
+        send: float,
+        plan: tuple,
+    ) -> None:
+        """Scalar tranche booking (see :meth:`_book_flow_fluid`, n=1)."""
+        ticket = state.ticket
+        pair = state.pair
+        self._m_segments_sent.inc()
+        t = send
+        ok = True
+        ce_flag = False
+        for channel, owd in plan:
+            done, ok, marked = channel.fluid_admit_one(
+                size, t, msg_seq=ticket.seq
+            )
+            if marked:
+                ce_flag = True
+            if not ok:
+                break
+            t = done + owd
+        if ok:
+            try:
+                ack_delay = self.net.path_one_way_delay(
+                    ticket.dst, ticket.src
+                )
+            except ConfigError:
+                ack_delay = None  # no reverse route: RTO takes over
+            if ack_delay is not None:
+                ack_t = t + ack_delay
+                tenant = self.tenants[ticket.tenant]
+                if tenant.spec.compliant:
+                    controller = pair.pacer.controller
+                    controller.on_rtt_sample(ack_t - send, now=ack_t)
+                    if ce_flag:
+                        self._m_ecn_echoes.inc()
+                        controller.on_ecn_echo(1, 1, now=ack_t)
+                    else:
+                        controller.on_ack_progress(now=ack_t)
+                acks = [(idx, send, ack_t, ce_flag)]
+                self.sim.call_at(
+                    ack_t, lambda: self._on_flow_acks(state, acks)
+                )
+                return
+        self.sim.call_at(
+            send + min(pair.rto_base, 4.0),
+            lambda: self._on_rto(state, idx, 0),
+        )
+
+    def _on_flow_acks(
+        self,
+        state: _FlowState,
+        acks: list[tuple[int, float, float, bool]],
+    ) -> None:
+        """Apply one fluid flow's delivered-segment ACKs in one event.
+
+        Fires at the last segment's ACK arrival.  Pacer feedback already
+        happened synchronously at booking time (see
+        :meth:`_admit_flow_fluid`), so this event only applies the
+        reliability bookkeeping: acked bits, byte/segment counters and
+        flow completion.  Semantics per segment mirror :meth:`_on_ack`.
+        """
+        ticket = state.ticket
+        if ticket.failed:
+            return
+        tenant = self.tenants[ticket.tenant]
+        nacked = 0
+        bytes_acked = 0
+        for idx, _sent_at, _ack_at, _ce in acks:
+            if state.acked[idx]:
+                self._m_dup_acks.inc()
+                continue
+            if idx < state.max_acked and state.pair.reroutes:
+                self._m_rr_reorders.inc()
+            if idx > state.max_acked:
+                state.max_acked = idx
+            state.acked[idx] = True
+            state.remaining -= 1
+            nacked += 1
+            bytes_acked += state.seg_size(idx)
+        if nacked == 0:
+            return
+        tenant.bytes_acked += bytes_acked
+        tenant.last_ack = self.sim.now
+        self._m_bytes_acked.inc(bytes_acked)
+        self._m_segments_acked.inc(nacked)
+        tenant.metrics.bytes_acked.inc(bytes_acked)
+        tenant.metrics.segments_acked.inc(nacked)
+        if state.remaining == 0:
+            ticket.completed = self.sim.now
+            tenant.flows_completed += 1
+            self._m_flows_completed.inc()
+            tenant.metrics.flows_completed.inc()
+            tenant.metrics.completion_seconds.observe(ticket.span)
+            if self._trace.enabled:
+                self._trace.instant(
+                    "fabric_deliver", cat="fabric",
+                    track=f"{self.name}.{ticket.src}",
+                    msg=ticket.seq, tenant=ticket.tenant, bytes=ticket.nbytes,
+                )
+            ticket.done.succeed()
+
+    def _requeue_flow_fluid(
+        self, ticket: FlowTicket, pair: _PairState, t0: float
+    ) -> None:
+        self._m_qp_wait_seconds.inc(self.sim.now - t0)
+        self._admit_flow_fluid(ticket, pair)
+
+    def _finish_flow_fluid(self, state: _FlowState) -> None:
+        """Completion/failure cleanup (the generator's tail, as a
+        ``ticket.done`` callback)."""
+        ticket = state.ticket
+        state.pair.flows.remove(state)
+        state.qp.active -= 1
+        if state.qp.active == 0:
+            self._g_qps.add(-1)
+        if state.pair.waiting:
+            state.pair.waiting.popleft().succeed()
+        if ticket.completed is not None:
+            self.tenants[ticket.tenant].completion_times.append(ticket.span)
+
     def _admission_wait(
         self, tenant: TenantState, state: _FlowState, nbytes: int
     ) -> float:
@@ -540,6 +978,17 @@ class FabricService:
         ticket = state.ticket
         if ticket.failed or state.acked[idx]:
             return
+        if self.sim.config.fluid and self.net.health is None:
+            # Fluid fast path (opt-in, unmonitored fabrics only: breaker
+            # transitions would invalidate future bookings mid-flight).
+            try:
+                path = self.net.route(ticket.src, ticket.dst)
+            except ConfigError:
+                self._on_no_route(state, idx, attempt)
+                return
+            if self.net.fluid_plan(path) is not None:
+                self._send_segment_fluid(state, idx, attempt)
+                return
         size = state.seg_size(idx)
         packet = Packet(
             dst_qpn=0,
@@ -578,6 +1027,67 @@ class FabricService:
         self._m_segments_sent.inc()
         rto = min(state.pair.rto_base * (2.0 ** attempt), 4.0)
         self.sim.call_in(rto, lambda: self._on_rto(state, idx, attempt))
+
+    def _send_segment_fluid(self, state: _FlowState, idx: int, attempt: int) -> None:
+        """Book the segment's whole journey now instead of relaying it.
+
+        Replaces the per-hop delivery events, the destination callback and
+        the always-armed RTO timer with exactly one scheduled event per
+        segment: an ``_on_ack`` at the computed arrival plus the reverse
+        path's delay when the segment survives every hop, or an ``_on_rto``
+        at the timeout when any hop drops it.  ``_on_ack`` and ``_on_rto``
+        are reused verbatim -- their duplicate/stale-attempt guards already
+        make late or raced callbacks safe.  A delivered segment therefore
+        never retransmits even if its computed ACK lands after the RTO
+        would have fired, one of the documented fluid approximations.
+        """
+        ticket = state.ticket
+        size = state.seg_size(idx)
+        packet = Packet(
+            dst_qpn=0,
+            opcode=Opcode.WRITE_ONLY_IMM,
+            length=size,
+            msg_seq=ticket.seq,
+            pkt_idx=idx,
+            chunk=idx,
+            attempt=attempt,
+        )
+        state.attempt[idx] = attempt
+        state.uid[idx] = packet.uid
+        sent_at = self.sim.now
+        path, outcome, arrival = self.net.fluid_send(
+            ticket.src, ticket.dst, packet, at=sent_at
+        )
+        state.sent_path[idx] = path
+        if state.route_lost_at is not None:
+            state.route_lost_at = None
+            self._m_route_restored.inc()
+            if self._trace.enabled:
+                self._trace.instant(
+                    "route_restored", cat="fabric",
+                    track=f"{self.name}.{ticket.src}",
+                    msg=ticket.seq, chunk=idx,
+                )
+        self._m_segments_sent.inc()
+        if outcome == "ok":
+            try:
+                ack_delay = self.net.path_one_way_delay(ticket.dst, ticket.src)
+            except ConfigError:
+                ack_delay = None
+            if ack_delay is not None:
+                self.sim.call_at(
+                    arrival + ack_delay,
+                    lambda: self._on_ack(
+                        state, idx, attempt, sent_at, packet.ce
+                    ),
+                )
+                return
+        # Dropped along the way (or no reverse route): arm the RTO -- only
+        # now, so the common delivered case costs zero timer events.
+        rto = min(state.pair.rto_base * (2.0 ** attempt), 4.0)
+        self.sim.call_at(
+            sent_at + rto, lambda: self._on_rto(state, idx, attempt)
+        )
 
     def _on_delivered(
         self, state: _FlowState, idx: int, attempt: int, sent_at: float, packet: Packet

@@ -307,6 +307,11 @@ class FabricNetwork:
         self.streams = streams if streams is not None else RngStreams(seed)
         self.channels: dict[tuple[str, str], Channel] = {}
         self._routes: dict[tuple[str, str], tuple[str, ...]] = {}
+        self._delay_cache: dict[tuple[str, str], float] = {}
+        #: Precompiled fluid hop plans per path; ``None`` = ineligible.
+        self._fluid_plans: dict[
+            tuple[str, ...], tuple[tuple[Channel, float], ...] | None
+        ] = {}
         self._inflight: dict[int, _Transit] = {}
         self.health = None  # optional EdgeHealthMonitor (fabric.health)
         self._route_listeners: list[Callable[[], None]] = []
@@ -348,6 +353,8 @@ class FabricNetwork:
         serving stale paths forever.
         """
         self._routes.clear()
+        self._delay_cache.clear()
+        self._fluid_plans.clear()
 
     def routes_changed(self) -> None:
         """Invalidate cached routes and notify listeners (service layers
@@ -368,11 +375,22 @@ class FabricNetwork:
         return path
 
     def path_one_way_delay(self, src: str, dst: str) -> float:
-        """Propagation plus per-hop one-MTU serialization along the route."""
-        path = self.route(src, dst)
-        return sum(
-            self.topology.edge(a, b).cost for a, b in zip(path, path[1:])
-        )
+        """Propagation plus per-hop one-MTU serialization along the route.
+
+        Cached per (src, dst) -- it is a pure function of the resolved
+        route -- and invalidated with the route cache; the fluid path
+        calls this once per ACK, so recomputing the sum dominated its
+        profile before caching.
+        """
+        key = (src, dst)
+        delay = self._delay_cache.get(key)
+        if delay is None:
+            path = self.route(src, dst)
+            delay = sum(
+                self.topology.edge(a, b).cost for a, b in zip(path, path[1:])
+            )
+            self._delay_cache[key] = delay
+        return delay
 
     def path_rtt(self, src: str, dst: str) -> float:
         return self.path_one_way_delay(src, dst) + self.path_one_way_delay(
@@ -426,6 +444,84 @@ class FabricNetwork:
         )
         self.channels[(path[0], path[1])].transmit(packet)
         return path
+
+    def fluid_path_eligible(self, path: tuple[str, ...]) -> bool:
+        """True when every edge along ``path`` can be fluid-booked.
+
+        The fabric fluid fast path (see :meth:`fluid_send`) resolves a
+        packet's whole multi-hop journey synchronously at send time, using
+        each edge's fixed ``one_way_delay`` for flight time.  Edges that
+        perturb per-packet timing or copy packets (jitter, duplication)
+        would need per-packet RNG draws at transit time, so they force the
+        event-driven relay.  Tail-drop buffers, ECN marking and wire-loss
+        models are fine: :meth:`Channel.fluid_transmit_one` applies them
+        against the booking horizon.  Subclassed channels (fault
+        injectors) are never eligible -- their wrapped behavior is an
+        epoch boundary by definition.
+        """
+        for a, b in zip(path, path[1:]):
+            channel = self.channels[(a, b)]
+            if type(channel) is not Channel:
+                return False
+            cfg = channel.config
+            if cfg.jitter_fraction != 0 or cfg.duplicate_probability != 0:
+                return False
+        return True
+
+    def fluid_plan(
+        self, path: tuple[str, ...]
+    ) -> tuple[tuple[Channel, float], ...] | None:
+        """Precompiled ``(channel, one_way_delay)`` hop list, or ``None``.
+
+        ``None`` means the path is not fluid-eligible.  Plans are cached
+        (and cleared with the route cache) so the per-segment hot loop in
+        :meth:`fluid_send` does no dict or config lookups.
+        """
+        try:
+            return self._fluid_plans[path]
+        except KeyError:
+            pass
+        plan = None
+        if self.fluid_path_eligible(path):
+            plan = tuple(
+                (
+                    self.channels[(a, b)],
+                    self.channels[(a, b)].config.one_way_delay,
+                )
+                for a, b in zip(path, path[1:])
+            )
+        self._fluid_plans[path] = plan
+        return plan
+
+    def fluid_send(
+        self, src: str, dst: str, packet: Packet, *, at: float
+    ) -> tuple[tuple[str, ...], str, float]:
+        """Book ``packet``'s whole multi-hop journey in one step.
+
+        Each hop is admitted via :meth:`Channel.fluid_transmit_one` at the
+        packet's computed arrival instant (previous hop's serialization
+        done plus that edge's propagation delay), so no per-hop relay
+        events enter the heap and nothing lands in the in-flight table.
+        Returns ``(path, outcome, arrival)`` where outcome is ``"ok"``,
+        ``"tail_drop"`` or ``"loss"`` and ``arrival`` is the delivery time
+        at the final host (meaningless for drops).  Scheduling the
+        delivery/ACK reaction is the caller's job.
+
+        Bookings advance each edge's horizon in *send* order rather than
+        arrival order, a FIFO approximation the caller accepts by gating
+        on :meth:`fluid_path_eligible` (see ``docs/simulation.md``).
+        """
+        path = self.route(src, dst)
+        plan = self.fluid_plan(path)
+        if plan is None:
+            raise ConfigError(f"path {path!r} is not fluid-eligible")
+        t = at
+        for channel, owd in plan:
+            outcome, done = channel.fluid_transmit_one(packet, at=t)
+            if outcome != "ok":
+                return path, outcome, t
+            t = done + owd
+        return path, "ok", t
 
     def abandon(self, uid: int) -> None:
         """Forget an in-flight packet (its RTO fired; a new attempt owns

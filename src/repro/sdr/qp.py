@@ -157,6 +157,9 @@ class SdrQp:
         #: Optional repro.cc token-bucket pacer spacing packet posts; None =
         #: inject at line rate (see ``attach_pacer``).
         self.pacer = None
+        #: Lazily created fluid fast-path planner (``sim.config.fluid``);
+        #: see :mod:`repro.sim.fluid`.
+        self._fluid = None
         self._cts_idle_wake = None
         #: Refreshes remaining before the CTS announcer goes idle; reset on
         #: every recv_post.  Bounds event-heap growth while still repairing
@@ -382,6 +385,15 @@ class SdrQp:
         if not hdl.cts_event.triggered:
             yield hdl.cts_event
         assert self._remote is not None
+        if self.sim.config.fluid:
+            if self._fluid is None:
+                from repro.sim.fluid import FluidSolver  # cycle guard
+
+                self._fluid = FluidSolver(self)
+            if self._fluid.try_inject(hdl, offset, length, payload, user_imm, attempt):
+                # Steady bulk segment advanced in one step; per-packet
+                # injection (and its per-packet heap events) skipped.
+                return
         mtu = self.config.mtu_bytes
         ppc = self.config.packets_per_chunk
         base = hdl.msg_id * self.config.max_message_bytes

@@ -13,7 +13,14 @@ insertion order, and all randomness flows through explicitly-seeded
 :class:`numpy.random.Generator` streams (see :mod:`repro.sim.rng`).
 """
 
-from repro.sim.engine import Event, Interrupt, Process, Simulator
+from repro.sim.engine import Event, Interrupt, Process, SimConfig, Simulator
 from repro.sim.rng import RngStreams
 
-__all__ = ["Event", "Interrupt", "Process", "RngStreams", "Simulator"]
+__all__ = [
+    "Event",
+    "Interrupt",
+    "Process",
+    "RngStreams",
+    "SimConfig",
+    "Simulator",
+]

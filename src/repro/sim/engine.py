@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import heapq
 from collections.abc import Callable, Generator
+from dataclasses import dataclass
 from typing import Any
 
 from repro.common.errors import ReproError
@@ -29,6 +30,21 @@ from repro.telemetry import Telemetry
 
 class SimulationError(ReproError):
     """The simulation reached an inconsistent state (e.g. deadlock)."""
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Engine-level feature switches shared by every component of a run.
+
+    ``fluid`` opts into the hybrid fluid/packet fast path
+    (:mod:`repro.sim.fluid`): steady bulk transfers advance as vectorized
+    rate segments instead of per-packet heap events.  Packet mode
+    (``fluid=False``) is the default and keeps same-seed traces
+    byte-identical; components that cannot model a transfer fluidly fall
+    back to packet mode per segment.
+    """
+
+    fluid: bool = False
 
 
 class Event:
@@ -179,7 +195,13 @@ class Simulator:
     facade to enable tracing or disable metrics for a run.
     """
 
-    def __init__(self, *, telemetry: Telemetry | None = None):
+    def __init__(
+        self,
+        *,
+        telemetry: Telemetry | None = None,
+        config: SimConfig | None = None,
+    ):
+        self.config = config if config is not None else SimConfig()
         self._now = 0.0
         self._heap: list[tuple[float, int, Event]] = []
         self._seq = 0
@@ -245,7 +267,11 @@ class Simulator:
         if time < self._now:
             raise SimulationError(f"cannot schedule in the past: {time} < {self._now}")
         ev = Event(self)
-        ev.callbacks.append(lambda _ev: fn())
+        cb = lambda _ev: fn()  # noqa: E731 - tiny adapter, kept allocation-free
+        # Expose the real target so SimProfiler charges the callback to the
+        # scheduling component, not to this engine trampoline.
+        cb.__wrapped__ = fn
+        ev.callbacks.append(cb)
         ev.succeed(None, delay=time - self._now)
         return ev
 

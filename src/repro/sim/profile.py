@@ -74,6 +74,10 @@ class SimProfiler:
     # -- dispatch (called from Simulator.step) ---------------------------------
 
     def _key(self, cb) -> str:
+        # Engine trampolines (Simulator.call_at's adapter) expose the real
+        # target via __wrapped__; charge the scheduling component -- e.g. a
+        # fluid segment-advance lands under repro.sim.fluid, not call_at.
+        cb = getattr(cb, "__wrapped__", cb)
         func = getattr(cb, "__func__", cb)
         owner = getattr(cb, "__self__", None)
         gen = getattr(owner, "_gen", None)

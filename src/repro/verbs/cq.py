@@ -60,6 +60,10 @@ class CompletionQueue:
         self.capacity = capacity
         self._entries: deque[Cqe] = deque()
         self._listener: Callable[["CompletionQueue"], None] | None = None
+        #: ``(worker, handler)`` when a DPA worker serves this CQ; lets the
+        #: fluid fast path resolve which worker will drain a completion
+        #: without walking the engine's pool (see repro.sim.fluid).
+        self.consumer = None
         self._wakeups: list[Event] = []
         scope = sim.telemetry.metrics.scope(f"cq.{self.name}")
         self._m_posted = scope.counter("cqes_posted")

@@ -38,6 +38,7 @@ class TestClosedLoop:
         assert result.pacer.controller.rate_bps < 100e9
         assert result.failed_writes == 0
 
+    @pytest.mark.slow
     def test_swift_backs_off_under_incast(self):
         # A single self-clocked sender never inflates its own RTT (chunk
         # timestamps are stamped at injection), so congestion needs

@@ -55,6 +55,7 @@ class TestLossy:
         assert sum(result.per_edge_drops) > 0
         assert result.total_retransmitted_chunks > 0
 
+    @pytest.mark.slow
     def test_ec_beats_sr_on_lossy_ring(self):
         """End-to-end (packet-level) confirmation of Figure 13's claim."""
         times = {}

@@ -13,7 +13,8 @@ from repro.net.multipath import connect_bonded
 from repro.reliability.base import ControlPath
 from repro.sdr.context import SdrContext, context_create
 from repro.sdr.qp import SdrQp
-from repro.sim.engine import Simulator
+from repro.sim.engine import SimConfig, Simulator
+from repro.telemetry import Telemetry
 from repro.verbs.device import Device, Fabric
 
 
@@ -55,8 +56,10 @@ def make_sdr_pair(
     spread: str = "flow",
     buffer_bytes: int = 0,
     ecn_threshold_bytes: int = 0,
+    sim_config: SimConfig | None = None,
+    telemetry: Telemetry | None = None,
 ) -> SdrPair:
-    sim = Simulator()
+    sim = Simulator(telemetry=telemetry, config=sim_config)
     fabric = Fabric(sim, seed=seed)
     dev_a = fabric.add_device("dc-a")
     dev_b = fabric.add_device("dc-b")

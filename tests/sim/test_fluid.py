@@ -1,0 +1,296 @@
+"""Fluid fast-path equivalence, determinism and fallback (repro.sim.fluid).
+
+The contract under test: packet mode (the default) is byte-identical to
+the pre-fluid engine; fluid mode reproduces packet mode's *outcomes*
+(delivered bytes, chunk bitmaps, loss draws) exactly and its *timing*
+within tight tolerance, while consuming far fewer events; and anything
+the solver cannot model fluidly (fault wrappers, jitter, retransmission
+epochs) falls back to the packet path with identical results.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common.units import KiB, MiB
+from repro.faults import FaultSchedule
+from repro.faults.schedule import FaultWindow
+from repro.sdr.qp import SdrRecvWr, SdrSendWr
+from repro.sim.engine import SimConfig
+from repro.sim.fluid import drain_times
+from repro.telemetry import RingBufferSink, Telemetry
+
+from tests.conftest import make_sdr_pair
+
+
+# -- drain_times: closed-form FIFO drain ---------------------------------------
+
+
+def scalar_drain(arrivals, free_at, per_item, extras=None):
+    """Reference event-by-event FIFO server."""
+    done = []
+    free = free_at
+    for i, a in enumerate(arrivals):
+        start = max(a, free)
+        t = start + per_item
+        done.append(t)
+        free = t + (extras[i] if extras is not None else 0.0)
+    return np.array(done)
+
+
+class TestDrainTimes:
+    def test_empty(self):
+        assert drain_times(
+            np.empty(0), free_at=0.0, per_item=1.0
+        ).size == 0
+
+    def test_idle_server_single(self):
+        out = drain_times(np.array([5.0]), free_at=3.0, per_item=2.0)
+        assert out[0] == pytest.approx(7.0)
+
+    def test_busy_server_single(self):
+        out = drain_times(np.array([1.0]), free_at=3.0, per_item=2.0)
+        assert out[0] == pytest.approx(5.0)
+
+    def test_matches_scalar_reference(self):
+        rng = np.random.default_rng(7)
+        arrivals = np.sort(rng.uniform(0, 10, 64))
+        out = drain_times(arrivals, free_at=1.0, per_item=0.3)
+        ref = scalar_drain(arrivals, 1.0, 0.3)
+        np.testing.assert_allclose(out, ref, rtol=1e-12)
+
+    def test_extras_delay_successors(self):
+        rng = np.random.default_rng(11)
+        arrivals = np.sort(rng.uniform(0, 5, 32))
+        extras = rng.uniform(0, 0.2, 32)
+        out = drain_times(
+            arrivals, free_at=0.0, per_item=0.1, extras=extras
+        )
+        ref = scalar_drain(arrivals, 0.0, 0.1, extras)
+        np.testing.assert_allclose(out, ref, rtol=1e-12)
+
+
+# -- SDR equivalence: fluid vs packet ------------------------------------------
+
+
+def run_transfer(
+    *,
+    fluid: bool,
+    drop: float = 0.0,
+    size: int = 1 * MiB,
+    n_messages: int = 3,
+    seed: int = 0,
+    faults: FaultSchedule | None = None,
+    trace: bool = False,
+):
+    """Send ``n_messages`` back-to-back; returns (pair, bitmaps, times, ring).
+
+    Sends carry no payload: payload-bearing work requests are fluid-
+    ineligible by design (the solver books byte counts, not buffers), so
+    length-only sends are what exercises the fast path."""
+    ring = RingBufferSink(capacity=1_000_000) if trace else None
+    telemetry = (
+        Telemetry(trace=True, trace_sinks=[ring]) if trace else None
+    )
+    p = make_sdr_pair(
+        drop=drop,
+        seed=seed,
+        faults=faults,
+        sim_config=SimConfig(fluid=fluid),
+        telemetry=telemetry,
+    )
+    bitmaps = []
+    times = []
+    handles = []
+    for _ in range(n_messages):
+        mr = p.ctx_b.mr_reg(size)
+        handles.append(p.qp_b.recv_post(SdrRecvWr(mr=mr, length=size)))
+        p.qp_a.send_post(SdrSendWr(length=size))
+    for rh in handles:
+        p.sim.run(rh.wait_all_chunks())
+        bitmaps.append(rh.bitmap().to_bytes())
+        times.append(p.sim.now)
+    p.sim.run()
+    return p, bitmaps, times, ring
+
+
+class TestSdrEquivalence:
+    def test_lossfree_same_bytes_and_bitmaps(self):
+        _, bm_pkt, t_pkt, _ = run_transfer(fluid=False)
+        pf, bm_fl, t_fl, _ = run_transfer(fluid=True)
+        assert bm_fl == bm_pkt
+        for a, b in zip(t_fl, t_pkt):
+            assert a == pytest.approx(b, rel=0.01)
+
+    def test_payload_sends_fall_back_with_integrity(self):
+        """Payload-bearing sends are fluid-ineligible: under fluid config
+        they must take the packet path and still deliver the bytes."""
+        p = make_sdr_pair(sim_config=SimConfig(fluid=True))
+        size = 2 * MiB
+        data = bytes(range(256)) * (size // 256)
+        buf = bytearray(size)
+        mr = p.ctx_b.mr_reg(size, data=buf)
+        rh = p.qp_b.recv_post(SdrRecvWr(mr=mr, length=size))
+        p.qp_a.send_post(SdrSendWr(length=size, payload=data))
+        p.sim.run(rh.wait_all_chunks())
+        assert rh.bitmap().all_set()
+        assert bytes(buf) == data
+
+    @pytest.mark.parametrize("drop", [0.005, 0.02])
+    def test_lossy_same_loss_draws_and_completion(self, drop):
+        """Bernoulli drop draws are bit-identical between modes, so the
+        set of first-pass survivors -- and therefore the retransmission
+        epochs, which run in packet mode in both cases -- must agree."""
+        from tests.reliability.conftest import make_sr
+
+        def run(fluid):
+            pair, sender, receiver = make_sr(
+                drop=drop, seed=5, sim_config=SimConfig(fluid=fluid)
+            )
+            size = 1 * MiB
+            mr = pair.ctx_b.mr_reg(size)
+            receiver.post_receive(mr, size)
+            ticket = sender.write(size)
+            pair.sim.run(ticket.done)
+            return ticket.retransmitted_chunks, ticket.completion_time
+
+        retx_pkt, t_pkt = run(False)
+        retx_fl, t_fl = run(True)
+        assert retx_fl == retx_pkt
+        assert t_fl == pytest.approx(t_pkt, rel=0.01)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_fault_window_fuzz_falls_back_identically(self, seed):
+        """Fault wrappers are distinct channel types, hence fluid-
+        ineligible: runs with fault windows straddling the transfer must
+        match packet mode exactly, not just within tolerance."""
+        from tests.reliability.conftest import make_sr
+
+        rng = np.random.default_rng(seed)
+        start = float(rng.uniform(0.0, 0.002))
+        sched = FaultSchedule(
+            (
+                FaultWindow(
+                    kind="blackout",
+                    start=start,
+                    end=start + float(rng.uniform(0.0005, 0.002)),
+                ),
+            )
+        )
+
+        def run(fluid):
+            pair, sender, receiver = make_sr(
+                seed=seed,
+                faults=sched,
+                sim_config=SimConfig(fluid=fluid),
+            )
+            size = 1 * MiB
+            mr = pair.ctx_b.mr_reg(size)
+            receiver.post_receive(mr, size)
+            ticket = sender.write(size)
+            pair.sim.run(ticket.done)
+            return ticket.retransmitted_chunks, ticket.completion_time
+
+        assert run(True) == run(False)
+
+
+# -- determinism regressions ---------------------------------------------------
+
+
+def trace_tuples(ring):
+    return [
+        (e.name, e.cat, e.track, round(e.ts, 15), tuple(sorted(e.args.items())))
+        for e in ring.events
+    ]
+
+
+class TestDeterminism:
+    def test_packet_mode_traces_unchanged_by_config(self):
+        """`SimConfig(fluid=False)` must be indistinguishable from no
+        config at all: the fast path may not perturb the default."""
+        _, _, _, ring_default = run_transfer(
+            fluid=False, trace=True, n_messages=2
+        )
+        ring_none = RingBufferSink(capacity=1_000_000)
+        p = make_sdr_pair(
+            telemetry=Telemetry(trace=True, trace_sinks=[ring_none])
+        )
+        size = 1 * MiB
+        handles = []
+        for i in range(2):
+            data = bytes([i % 251]) * size
+            mr = p.ctx_b.mr_reg(size, data=bytearray(size))
+            handles.append(
+                p.qp_b.recv_post(SdrRecvWr(mr=mr, length=size))
+            )
+            p.qp_a.send_post(SdrSendWr(length=size, payload=data))
+        for rh in handles:
+            p.sim.run(rh.wait_all_chunks())
+        p.sim.run()
+        assert trace_tuples(ring_default) == trace_tuples(ring_none)
+
+    def test_fluid_mode_self_deterministic(self):
+        _, _, _, ring_a = run_transfer(fluid=True, trace=True)
+        _, _, _, ring_b = run_transfer(fluid=True, trace=True)
+        assert trace_tuples(ring_a) == trace_tuples(ring_b)
+
+    def test_fluid_mode_self_deterministic_lossy(self):
+        from tests.reliability.conftest import make_sr
+
+        def run():
+            pair, sender, receiver = make_sr(
+                drop=0.01, seed=9, sim_config=SimConfig(fluid=True)
+            )
+            size = 1 * MiB
+            mr = pair.ctx_b.mr_reg(size)
+            receiver.post_receive(mr, size)
+            ticket = sender.write(size)
+            pair.sim.run(ticket.done)
+            return ticket.retransmitted_chunks, ticket.completion_time
+
+        assert run() == run()
+
+    def test_fluid_collapses_tx_instants(self):
+        """Fluid mode replaces per-packet ``tx`` completes with segment
+        summary records -- the event diet is the whole point."""
+        _, _, _, ring_pkt = run_transfer(fluid=False, trace=True)
+        _, _, _, ring_fl = run_transfer(fluid=True, trace=True)
+        pkt_tx = sum(1 for e in ring_pkt.events if e.name == "tx")
+        fl_tx = sum(1 for e in ring_fl.events if e.name == "tx")
+        fl_seg = sum(
+            1 for e in ring_fl.events if e.name == "fluid_segment"
+        )
+        assert fl_seg > 0
+        assert fl_tx < pkt_tx / 10
+
+
+# -- token bucket batch reserve ------------------------------------------------
+
+
+class TestReserveBatch:
+    def test_matches_sequential_scalar_reserves(self):
+        from repro.cc.controller import StaticRateController
+        from repro.cc.pacer import TokenBucketGroup
+        from repro.sim.engine import Simulator
+
+        def build():
+            sim = Simulator()
+            sim.call_at(0.001, lambda: None)
+            sim.run()  # park the clock mid-run at t=1ms
+            group = TokenBucketGroup(
+                sim, controller=StaticRateController(10e9), planes=1
+            )
+            return sim, group
+
+        rng = np.random.default_rng(3)
+        sizes = rng.integers(1, 256 * KiB, 40).astype(np.float64)
+
+        _, seq = build()
+        waits_seq = [seq.reserve(int(s)) for s in sizes]
+
+        _, bat = build()
+        waits_bat = bat.reserve_batch(np.cumsum(sizes))
+        np.testing.assert_allclose(
+            waits_bat, np.array(waits_seq), rtol=1e-9, atol=1e-15
+        )

@@ -94,3 +94,45 @@ class TestDocsConsistency:
         assert not undocumented, (
             f"produced but missing from {DOCS.name}: {sorted(undocumented)}"
         )
+
+    def test_fluid_mode_produces_documented_prefixes_only(self):
+        """The fluid fast path publishes through the same registries:
+        a fluid run must not mint undocumented metric prefixes."""
+        from repro.common.units import MiB as _MiB
+        from repro.fabric import ScaleConfig, scale_scenario
+        from repro.sdr.qp import SdrRecvWr, SdrSendWr
+        from repro.sim.engine import SimConfig
+
+        documented = documented_prefixes()
+        names: set[str] = set()
+
+        pair = make_sdr_pair(sim_config=SimConfig(fluid=True))
+        size = 1 * _MiB
+        mr = pair.ctx_b.mr_reg(size)
+        rh = pair.qp_b.recv_post(SdrRecvWr(mr=mr, length=size))
+        pair.qp_a.send_post(SdrSendWr(length=size))
+        pair.sim.run(rh.wait_all_chunks())
+        names.update(pair.sim.telemetry.metrics.names())
+
+        fabric_telemetry = Telemetry()
+        scale_scenario(
+            ScaleConfig(
+                tenants=20,
+                duration=0.005,
+                offered_load_bps=40e9,
+                tors=2,
+                hosts_per_tor=2,
+                mean_message_bytes=2 * _MiB,
+                max_message_bytes=8 * _MiB,
+                fluid=True,
+            ),
+            telemetry=fabric_telemetry,
+        )
+        names.update(fabric_telemetry.metrics.names())
+
+        produced = {name.split(".", 1)[0] for name in names}
+        undocumented = produced - documented
+        assert not undocumented, (
+            f"fluid run produced prefixes missing from {DOCS.name}: "
+            f"{sorted(undocumented)}"
+        )

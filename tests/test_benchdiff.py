@@ -1,0 +1,146 @@
+"""`repro bench diff`: BENCH_*.json baseline comparison."""
+
+from __future__ import annotations
+
+import json
+
+from repro.benchdiff import diff_dirs
+from repro.cli import main
+
+
+def write_bench(directory, name, rows, *, wall_mean=1.0):
+    payload = {
+        "name": name,
+        "tables": [
+            {
+                "title": "t",
+                "columns": ["x", "goodput", "label"],
+                "rows": rows,
+                "notes": None,
+            }
+        ],
+        "wall_clock": {"min": wall_mean, "mean": wall_mean, "rounds": 1.0},
+    }
+    path = directory / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload))
+    return path
+
+
+class TestDiffDirs:
+    def test_identical_dirs_zero_deltas(self, tmp_path):
+        base = tmp_path / "base"
+        fresh = tmp_path / "fresh"
+        base.mkdir()
+        fresh.mkdir()
+        write_bench(base, "b1", [[1, 10.0, "a"]])
+        write_bench(fresh, "b1", [[1, 10.0, "a"]])
+        report = diff_dirs(str(fresh), str(base))
+        assert all(d.pct == 0.0 for d in report.deltas)
+        assert not report.changed_text
+        assert not report.added and not report.missing
+
+    def test_pct_delta_and_text_change(self, tmp_path):
+        base = tmp_path / "base"
+        fresh = tmp_path / "fresh"
+        base.mkdir()
+        fresh.mkdir()
+        write_bench(base, "b1", [[1, 10.0, "a"], [2, 20.0, "a"]])
+        write_bench(fresh, "b1", [[1, 11.0, "b"], [2, 20.0, "a"]])
+        report = diff_dirs(str(fresh), str(base))
+        gp = {d.metric: d for d in report.deltas if d.gated}
+        assert gp["t[1].goodput"].pct == 10.0
+        assert gp["t[2].goodput"].pct == 0.0
+        assert report.changed_text == [("b1", "t[1].label", "a", "b")]
+
+    def test_row_key_column_not_diffed(self, tmp_path):
+        base = tmp_path / "base"
+        fresh = tmp_path / "fresh"
+        base.mkdir()
+        fresh.mkdir()
+        write_bench(base, "b1", [[1, 10.0, "a"]])
+        write_bench(fresh, "b1", [[2, 10.0, "a"]])
+        report = diff_dirs(str(fresh), str(base))
+        assert not any(d.metric.endswith(".x") for d in report.deltas)
+
+    def test_added_and_missing_files(self, tmp_path):
+        base = tmp_path / "base"
+        fresh = tmp_path / "fresh"
+        base.mkdir()
+        fresh.mkdir()
+        write_bench(base, "only_base", [[1, 1.0, "a"]])
+        write_bench(fresh, "only_fresh", [[1, 1.0, "a"]])
+        report = diff_dirs(str(fresh), str(base))
+        assert report.added == ["BENCH_only_fresh.json"]
+        assert report.missing == ["BENCH_only_base.json"]
+
+    def test_wall_clock_never_gates(self, tmp_path):
+        base = tmp_path / "base"
+        fresh = tmp_path / "fresh"
+        base.mkdir()
+        fresh.mkdir()
+        write_bench(base, "b1", [[1, 10.0, "a"]], wall_mean=1.0)
+        write_bench(fresh, "b1", [[1, 10.0, "a"]], wall_mean=5.0)
+        report = diff_dirs(str(fresh), str(base))
+        assert not report.breaches(0.001)
+        wall = [d for d in report.deltas if not d.gated]
+        assert wall and all(d.metric.startswith("wall.") for d in wall)
+
+
+class TestCli:
+    def test_diff_within_threshold_exits_zero(self, tmp_path, capsys):
+        base = tmp_path / "base"
+        fresh = tmp_path / "fresh"
+        base.mkdir()
+        fresh.mkdir()
+        write_bench(base, "b1", [[1, 100.0, "a"]])
+        write_bench(fresh, "b1", [[1, 100.5, "a"]])
+        rc = main(
+            [
+                "bench", "diff",
+                "--fresh", str(fresh),
+                "--baseline", str(base),
+                "--threshold", "1.0",
+            ]
+        )
+        assert rc == 0
+        assert "Benchmark diff" in capsys.readouterr().out
+
+    def test_diff_over_threshold_exits_nonzero(self, tmp_path, capsys):
+        base = tmp_path / "base"
+        fresh = tmp_path / "fresh"
+        base.mkdir()
+        fresh.mkdir()
+        write_bench(base, "b1", [[1, 100.0, "a"]])
+        write_bench(fresh, "b1", [[1, 150.0, "a"]])
+        rc = main(
+            [
+                "bench", "diff",
+                "--fresh", str(fresh),
+                "--baseline", str(base),
+                "--threshold", "5.0",
+            ]
+        )
+        assert rc == 1
+        assert "+50.00%" in capsys.readouterr().err
+
+    def test_no_pairs_exits_two(self, tmp_path, capsys):
+        rc = main(
+            [
+                "bench", "diff",
+                "--fresh", str(tmp_path / "nope"),
+                "--baseline", str(tmp_path / "also-nope"),
+            ]
+        )
+        assert rc == 2
+
+    def test_repo_baselines_self_compare_clean(self, capsys):
+        """The committed bench-results/ must diff cleanly against itself."""
+        rc = main(
+            [
+                "bench", "diff",
+                "--fresh", "bench-results",
+                "--baseline", "bench-results",
+                "--threshold", "0.0",
+            ]
+        )
+        assert rc == 0
